@@ -1,0 +1,69 @@
+"""Detectability study on the LFR benchmark family.
+
+Not a paper exhibit — a standard evaluation from the community-detection
+literature the paper builds on (Fortunato's survey [10] popularized it):
+sweep the LFR mixing parameter and measure how well the parallel
+algorithm recovers the planted communities.
+
+Asserted shape: recovery (NMI vs planted truth) decreases monotonically
+in ``mu`` for the parallel algorithm, stays near-perfect at ``mu = 0.1``
+and collapses by ``mu = 0.7`` — the canonical LFR curve.
+"""
+
+import pytest
+from conftest import SCALE, SEED, emit
+
+from repro import TerminationCriteria, detect_communities
+from repro.bench import format_table
+from repro.generators import lfr_graph
+from repro.metrics import Partition, coverage, normalized_mutual_information
+
+MUS = (0.1, 0.3, 0.5, 0.7)
+
+
+def test_lfr_detectability(benchmark, capsys, results_dir):
+    n = int(1_500 * SCALE)
+
+    def sweep():
+        out = {}
+        for mu in MUS:
+            graph, labels = lfr_graph(n, mu=mu, seed=SEED, return_labels=True)
+            truth = Partition.from_labels(labels)
+            res = detect_communities(
+                graph, termination=TerminationCriteria.local_maximum()
+            )
+            out[mu] = (
+                coverage(graph, truth),
+                normalized_mutual_information(res.partition, truth),
+                res.n_communities,
+                truth.n_communities,
+            )
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"{mu:.1f}",
+            f"{cov:.3f}",
+            f"{nmi:.3f}",
+            found,
+            planted,
+        ]
+        for mu, (cov, nmi, found, planted) in results.items()
+    ]
+    text = format_table(
+        ["mu", "truth coverage", "NMI", "found comms", "planted comms"],
+        rows,
+        title="LFR detectability sweep (parallel agglomeration)",
+    )
+    emit(capsys, results_dir, "detectability.txt", text)
+
+    nmis = [results[mu][1] for mu in MUS]
+    assert all(b <= a + 0.02 for a, b in zip(nmis, nmis[1:]))  # monotone
+    assert nmis[0] > 0.7
+    assert nmis[-1] < 0.2
+    # Truth coverage tracks 1 - mu.
+    for mu in MUS:
+        assert results[mu][0] == pytest.approx(1.0 - mu, abs=0.1)
+

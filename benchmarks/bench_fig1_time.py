@@ -1,0 +1,63 @@
+"""Figure 1: execution time vs allocated OpenMP threads / XMT processors,
+five platforms × two graphs, three runs per point.
+
+Shape claims checked against the paper's Figure 1:
+
+* on every platform the best time beats the single-unit time on rmat;
+* single-processor XMT runs are the slowest single-unit runs anywhere
+  (500 MHz, no cache), and Intel single-thread runs are the fastest;
+* the XMT2 is substantially faster than the XMT generation 1 at equal
+  processor counts;
+* Intel platforms reach their best time at (or near) full utilization,
+  the paper's "best performance always occurred at full utilization".
+"""
+
+from conftest import emit
+
+from repro.bench import format_scaling, plot_scaling_results, scaling_experiment
+from repro.bench.experiments import ALL_PLATFORMS, FIG12_GRAPHS
+
+
+def test_figure1_execution_times(benchmark, capsys, results_dir, traced_runs):
+    def sweep_all():
+        return {
+            g: scaling_experiment(traced_runs[g], ALL_PLATFORMS, seed=0)
+            for g in FIG12_GRAPHS
+        }
+
+    results = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+
+    chunks = []
+    for g in FIG12_GRAPHS:
+        chunks.append(
+            plot_scaling_results(
+                results[g],
+                title=f"Figure 1 ({g}): simulated time vs threads/processors",
+            )
+        )
+        for plat, sr in results[g].items():
+            chunks.append(format_scaling(sr))
+    text = "\n\n".join(chunks)
+    emit(capsys, results_dir, "figure1.txt", text)
+
+    for g in FIG12_GRAPHS:
+        sweeps = results[g]
+        t1 = {p: sr.best_single_unit_time() for p, sr in sweeps.items()}
+        # Intel single-thread fastest; XMT gen-1 single-proc slowest.
+        assert min(t1, key=t1.get) in ("X5650", "E7-8870", "X5570")
+        assert max(t1, key=t1.get) == "XMT"
+        # XMT2 beats XMT at every shared processor count.
+        for p in sweeps["XMT2"].times:
+            if p in sweeps["XMT"].times:
+                assert min(sweeps["XMT2"].times[p]) < min(
+                    sweeps["XMT"].times[p]
+                )
+
+    # rmat: every platform gains from parallelism.
+    for plat, sr in results["rmat-24-16"].items():
+        assert sr.best_time() < sr.best_single_unit_time()
+
+    # Intel best points sit in the upper half of the thread range on rmat.
+    for plat in ("X5570", "X5650", "E7-8870"):
+        sr = results["rmat-24-16"][plat]
+        assert sr.best_parallelism() >= sr.machine.max_parallelism // 4

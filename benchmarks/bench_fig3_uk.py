@@ -1,0 +1,58 @@
+"""Figure 3: the uk-2007-05 web crawl on the two platforms big enough to
+hold it — the E7-8870 (80 logical cores) and the Cray XMT2 (64 procs).
+
+Shape claims checked against the paper's Figure 3 (E7 best 504.9s /
+13.7x at full threads; XMT2 best 1063s / 29.6x):
+
+* the E7-8870 achieves the faster absolute best time;
+* the XMT2 achieves the larger speed-up;
+* both speed-ups land within 2x of the paper's annotations;
+* unlike soc-LiveJournal1, the large graph keeps the XMT2 scaling
+  (best point at >= half the processor range).
+"""
+
+from conftest import emit
+
+from repro.bench import (
+    format_scaling,
+    peak_rate,
+    plot_scaling_results,
+    scaling_experiment,
+)
+from repro.platform import CRAY_XMT2, INTEL_E7_8870
+
+from repro.bench.paper_data import FIG3_UK
+
+PAPER = {name: su for name, (_, su) in FIG3_UK.items()}
+
+
+def test_figure3_uk_graph(benchmark, capsys, results_dir, traced_runs):
+    run = traced_runs["uk-2007-05"]
+
+    def sweep():
+        return scaling_experiment(run, (INTEL_E7_8870, CRAY_XMT2), seed=0)
+
+    sweeps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    chunks = [
+        plot_scaling_results(
+            sweeps, title="Figure 3 (uk-2007-05): simulated time vs allocation"
+        ),
+        plot_scaling_results(
+            sweeps,
+            speedup=True,
+            title="Figure 3 (uk-2007-05): speed-up vs allocation",
+        ),
+    ]
+    for plat, sr in sweeps.items():
+        chunks.append(format_scaling(sr))
+        chunks.append(format_scaling(sr, speedup=True))
+        chunks.append(f"  peak rate: {peak_rate(sr) / 1e6:.2f}M edges/s")
+    emit(capsys, results_dir, "figure3.txt", "\n\n".join(chunks))
+
+    e7, xmt2 = sweeps["E7-8870"], sweeps["XMT2"]
+    assert e7.best_time() < xmt2.best_time()
+    assert xmt2.best_speedup() > e7.best_speedup()
+    for plat, sr in sweeps.items():
+        assert PAPER[plat] / 2 <= sr.best_speedup() <= PAPER[plat] * 2
+    assert xmt2.best_parallelism() >= CRAY_XMT2.n_processors // 2

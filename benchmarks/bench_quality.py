@@ -1,0 +1,58 @@
+"""§V quality check: "Smaller graphs' resulting modularities appear
+reasonable compared with results from a different, sequential
+implementation in SNAP."
+
+Compares the parallel algorithm's modularity against CNM and Louvain on
+the community-rich graphs, plus NMI against planted truth on the
+soc-LiveJournal1 analogue.
+"""
+
+from conftest import SCALE, SEED, emit
+
+from repro import TerminationCriteria, detect_communities, modularity
+from repro.baselines import cnm_communities, louvain_communities
+from repro.bench import format_table
+from repro.generators import karate_club, planted_partition_graph
+from repro.metrics import Partition, normalized_mutual_information
+
+
+def test_quality_vs_sequential(benchmark, capsys, results_dir):
+    planted, labels = planted_partition_graph(
+        int(3_000 * SCALE),
+        mean_community_size=30.0,
+        p_in=0.3,
+        background_degree=3.0,
+        seed=SEED,
+        return_labels=True,
+    )
+    truth = Partition.from_labels(labels)
+    graphs = {"karate": karate_club(), "soc-LiveJournal1-like": planted}
+
+    run = lambda g: detect_communities(
+        g, termination=TerminationCriteria.local_maximum()
+    )
+    benchmark.pedantic(run, args=(planted,), rounds=1, iterations=1)
+
+    rows = []
+    for name, g in graphs.items():
+        res = run(g)
+        q_par = modularity(g, res.partition)
+        _, q_cnm = cnm_communities(g)
+        _, q_lou = louvain_communities(g, seed=0)
+        nmi = (
+            f"{normalized_mutual_information(res.partition, truth):.3f}"
+            if g is planted
+            else "-"
+        )
+        rows.append(
+            [name, f"{q_par:.4f}", f"{q_cnm:.4f}", f"{q_lou:.4f}", nmi]
+        )
+        # "Reasonable": within the same regime as the sequential codes.
+        assert q_par > 0.6 * max(q_cnm, q_lou)
+
+    text = format_table(
+        ["graph", "parallel Q", "CNM Q", "Louvain Q", "NMI vs planted"],
+        rows,
+        title="§V quality: parallel modularity vs sequential baselines",
+    )
+    emit(capsys, results_dir, "quality.txt", text)

@@ -1,0 +1,25 @@
+"""Table I: processor characteristics of the five test platforms.
+
+The architectural rows are exact facts from the paper; this bench prints
+them from the machine-model registry (proving the models encode the same
+platforms) and times a full cost-model evaluation across all platforms.
+"""
+
+from conftest import emit
+
+from repro.bench import format_table1
+from repro.platform import PLATFORMS, KernelRecord, simulate_time
+
+
+def test_table1_platform_characteristics(benchmark, capsys, results_dir):
+    rec = [KernelRecord(name="k", items=1_000_000, mem_words=5_000_000)]
+
+    def evaluate_all_platforms():
+        return {
+            name: simulate_time(rec, machine, machine.max_parallelism).total
+            for name, machine in PLATFORMS.items()
+        }
+
+    times = benchmark(evaluate_all_platforms)
+    assert all(t > 0 for t in times.values())
+    emit(capsys, results_dir, "table1.txt", format_table1())

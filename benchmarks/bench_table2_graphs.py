@@ -1,0 +1,22 @@
+"""Table II: the evaluation graphs — paper sizes beside our scaled
+analogues, with the R-MAT generator as the timed workload."""
+
+from conftest import SEED, emit
+
+from repro.bench import format_table2
+from repro.generators import rmat_graph
+
+
+def test_table2_graph_sizes(benchmark, capsys, results_dir, datasets):
+    # Time the artificial-workload generator (scale 12 keeps rounds fast).
+    graph = benchmark(rmat_graph, 12, 16, seed=SEED)
+    assert graph.n_edges > 0
+
+    measured = {
+        name: (g.n_vertices, g.n_edges) for name, g in datasets.items()
+    }
+    text = format_table2(measured)
+    # Relative ordering must match the paper: uk > rmat > soc-LJ.
+    sizes = {name: g.n_edges for name, g in datasets.items()}
+    assert sizes["uk-2007-05"] > sizes["rmat-24-16"] > sizes["soc-LiveJournal1"]
+    emit(capsys, results_dir, "table2.txt", text)

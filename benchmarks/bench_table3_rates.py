@@ -1,0 +1,39 @@
+"""Table III: peak processing rate (edges/second of the input graph over
+the fastest sweep time) for every platform × graph combination.
+
+Shape claims checked against the paper's Table III:
+
+* the E7-8870 achieves the highest rate on every graph;
+* soc-LiveJournal1's rate ordering matches the paper exactly
+  (E7 > X5650 > X5570 > XMT2 > XMT);
+* the XMT (gen 1) is the slowest platform on every graph.
+"""
+
+from conftest import emit
+
+from repro.bench import format_table3, peak_rate, scaling_experiment
+from repro.bench.experiments import ALL_PLATFORMS
+
+
+def test_table3_peak_rates(benchmark, capsys, results_dir, traced_runs):
+    def sweep_all():
+        return {
+            name: scaling_experiment(run, ALL_PLATFORMS, seed=0)
+            for name, run in traced_runs.items()
+        }
+
+    results = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+
+    rates = {
+        g: {p: peak_rate(sr) for p, sr in sweeps.items()}
+        for g, sweeps in results.items()
+    }
+    for g in rates:
+        assert rates[g]["E7-8870"] == max(rates[g].values())
+        assert rates[g]["XMT"] == min(rates[g].values())
+    lj = rates["soc-LiveJournal1"]
+    assert (
+        lj["E7-8870"] > lj["X5650"] > lj["X5570"] > lj["XMT2"] > lj["XMT"]
+    )
+
+    emit(capsys, results_dir, "table3.txt", format_table3(results))

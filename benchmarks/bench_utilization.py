@@ -1,0 +1,59 @@
+"""§V-C's monitoring observation as a measurable exhibit.
+
+"Monitoring execution shows that the XMT compiler under-allocates threads
+in portions of the code, leading to bursts of poor processor utilization"
+— and the small soc-LiveJournal1 graph "provides insufficient parallelism
+for large processor counts on the XMTs."
+
+Asserted shape:
+
+* time-weighted XMT utilization at 64 processors is much higher on the
+  big uk crawl than on soc-LiveJournal1;
+* utilization degrades as processors are added on the small graph;
+* Intel (explicitly scheduled OpenMP threads) stays fully utilized.
+"""
+
+from conftest import emit
+
+from repro.bench import format_table
+from repro.platform import CRAY_XMT, CRAY_XMT2, INTEL_E7_8870, mean_utilization
+
+
+def test_xmt_utilization(benchmark, capsys, results_dir, traced_runs):
+    def profile():
+        out = {}
+        for gname, run in traced_runs.items():
+            for machine, p in (
+                (CRAY_XMT, 64),
+                (CRAY_XMT2, 64),
+                (INTEL_E7_8870, 80),
+            ):
+                out[(gname, machine.name)] = mean_utilization(
+                    run.recorder.records, machine, p
+                )
+        return out
+
+    util = benchmark(profile)
+
+    rows = [
+        [g, m, f"{u:.3f}"]
+        for (g, m), u in sorted(util.items())
+    ]
+    text = format_table(
+        ["graph", "platform", "time-weighted utilization"],
+        rows,
+        title="§V-C: processor utilization at full-scale allocation",
+    )
+    emit(capsys, results_dir, "utilization.txt", text)
+
+    assert util[("uk-2007-05", "XMT")] > 2 * util[("soc-LiveJournal1", "XMT")]
+    # Intel threads are explicitly scheduled: utilization is graph-
+    # independent (hyper-threads count at their marginal yield, so the
+    # value is eff(80)/80, not 1.0).
+    e7_values = {round(u, 9) for (g, m), u in util.items() if m == "E7-8870"}
+    assert len(e7_values) == 1
+    assert e7_values.pop() > 0.6
+    lj = traced_runs["soc-LiveJournal1"]
+    u8 = mean_utilization(lj.recorder.records, CRAY_XMT, 8)
+    u64 = mean_utilization(lj.recorder.records, CRAY_XMT, 64)
+    assert u64 < u8

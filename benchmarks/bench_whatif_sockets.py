@@ -1,0 +1,66 @@
+"""§V-C's open question, answered in the model.
+
+The paper: "This data is insufficient to see if a single, slower
+E7-8870's additional cores can outperform the faster X5650's fewer
+cores."  The cost model can run that experiment: a hypothetical
+one-socket E7-8870 (10 physical cores, 20 threads, a quarter of the
+4-socket bandwidth) against the full two-socket X5650 (12 cores,
+24 threads).
+
+This is a model extrapolation, not a paper result — the bench asserts
+only internal consistency (the single socket is slower than the full
+machine, both sweeps behave) and prints the answer for EXPERIMENTS.md.
+"""
+
+import dataclasses
+
+from conftest import emit
+
+from repro.bench import format_table
+from repro.platform import INTEL_E7_8870, INTEL_X5650, simulate_time
+
+E7_SINGLE_SOCKET = dataclasses.replace(
+    INTEL_E7_8870,
+    name="E7-8870x1",
+    n_processors=1,
+    physical_cores=10,
+    total_bandwidth_words=INTEL_E7_8870.total_bandwidth_words / 4,
+)
+
+
+def best_time(records, machine):
+    return min(
+        simulate_time(records, machine, p).total
+        for p in range(1, machine.max_parallelism + 1)
+    )
+
+
+def test_single_socket_e7_vs_x5650(benchmark, capsys, results_dir, traced_runs):
+    run = traced_runs["rmat-24-16"]
+
+    def evaluate():
+        return {
+            m.name: best_time(run.recorder.records, m)
+            for m in (E7_SINGLE_SOCKET, INTEL_X5650, INTEL_E7_8870)
+        }
+
+    times = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    rows = [
+        [name, f"{t:.4f}", f"{run.n_edges / t / 1e6:.2f}M"]
+        for name, t in times.items()
+    ]
+    winner = min(times, key=times.get)  # type: ignore[arg-type]
+    text = format_table(
+        ["machine", "best time (s)", "rate (edges/s)"],
+        rows,
+        title=(
+            "§V-C what-if: one slower E7-8870 socket vs the full X5650 "
+            f"(model's answer: {winner} wins)"
+        ),
+    )
+    emit(capsys, results_dir, "whatif_sockets.txt", text)
+
+    # Internal consistency.
+    assert times["E7-8870x1"] > times["E7-8870"]
+    assert all(t > 0 for t in times.values())

@@ -1,0 +1,55 @@
+"""§III complexity check: each contraction phase costs O(|E_c|) and the
+whole run O(|E| · K); with geometric community-graph shrinkage the total
+approaches O(|E| log |V|), while a star degenerates to one merge per
+level.
+
+Checked here on the real traces:
+
+* per-level community-graph edges never exceed the input edge count;
+* total edge work is bounded by |E| · K;
+* on the rapidly-contracting soc-LiveJournal1 analogue the community
+  graph shrinks geometrically (vertices at least halve every two
+  levels), so total work stays within a small constant of |E|;
+* the star graph exhibits the worst case: exactly one merge per level.
+"""
+
+from conftest import emit
+
+from repro import TerminationCriteria, detect_communities
+from repro.bench import format_table
+from repro.generators import star_graph
+
+
+def test_work_complexity(benchmark, capsys, results_dir, traced_runs):
+    rows = []
+    for name, run in traced_runs.items():
+        res = run.result
+        e_in = run.n_edges
+        total = res.total_edge_work()
+        k = res.n_levels
+        rows.append(
+            [name, f"{e_in:,}", k, f"{total:,}", f"{total / e_in:.2f}"]
+        )
+        assert all(s.n_edges <= e_in for s in res.levels)
+        assert total <= e_in * k
+
+    lj = traced_runs["soc-LiveJournal1"].result
+    for a, b in zip(lj.levels, lj.levels[2:]):
+        assert b.n_vertices <= a.n_vertices / 2 + 1
+    assert lj.total_edge_work() < 4 * traced_runs["soc-LiveJournal1"].n_edges
+
+    # Star graph: the paper's O(|E| * |V|) worst case — one merge/level.
+    star = star_graph(64)
+    res = benchmark(
+        detect_communities,
+        star,
+        termination=TerminationCriteria(coverage=None, max_levels=10),
+    )
+    assert all(s.n_pairs == 1 for s in res.levels)
+
+    text = format_table(
+        ["graph", "|E|", "levels K", "Σ level edges", "work / |E|"],
+        rows,
+        title="§III work bound: total community-graph edges processed vs O(|E|·K)",
+    )
+    emit(capsys, results_dir, "work_complexity.txt", text)

@@ -1,0 +1,56 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one exhibit of the paper's evaluation section
+and prints it in the paper's layout (ours beside the paper's reported
+numbers where applicable).  The traced algorithm runs are session-scoped:
+one detection run per (graph, kernel-variant) feeds every platform sweep,
+mirroring the paper's methodology.
+
+Set ``REPRO_BENCH_SCALE`` to shrink/grow the scaled datasets (default 1.0).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import load_dataset, run_with_trace
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """The three Table II analogue graphs."""
+    return {
+        name: load_dataset(name, scale=SCALE, seed=SEED)
+        for name in ("rmat-24-16", "soc-LiveJournal1", "uk-2007-05")
+    }
+
+
+@pytest.fixture(scope="session")
+def traced_runs(datasets):
+    """One traced detection run per graph (default kernels)."""
+    return {
+        name: run_with_trace(graph, graph_name=name)
+        for name, graph in datasets.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory where benchmarks persist their printed exhibits."""
+    path = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def emit(capsys, results_dir: str, name: str, text: str) -> None:
+    """Print an exhibit to the terminal and persist it for EXPERIMENTS.md."""
+    with capsys.disabled():
+        print()
+        print(text)
+    with open(os.path.join(results_dir, name), "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")

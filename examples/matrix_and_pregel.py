@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""§VI in practice: the algorithm as sparse matrix ops and as a Pregel job.
+
+The paper's Observations section argues the algorithm's primitives map to
+sparse-matrix kernels (Combinatorial BLAS) and to vertex-centric cloud
+frameworks (Pregel).  This example exercises both alternative substrates
+shipped with the library:
+
+* contraction computed as the triple product ``Sᵀ A S`` via the
+  from-scratch SpGEMM, checked against the bucket-sort contraction;
+* the locally dominant matching as a propose/accept Pregel protocol,
+  with the per-superstep message counts a distributed run would pay.
+
+Run:  python examples/matrix_and_pregel.py
+"""
+
+import numpy as np
+
+from repro.core import ModularityScorer, contract, match_locally_dominant
+from repro.generators import planted_partition_graph
+from repro.metrics import Partition, modularity
+from repro.pregel import MatchingProgram, PregelEngine
+from repro.spmatrix import contract_via_spgemm, matrix_modularity
+from repro.types import NO_VERTEX
+
+
+def main() -> None:
+    graph = planted_partition_graph(1_500, seed=3)
+    print(f"graph: |V|={graph.n_vertices:,} |E|={graph.n_edges:,}")
+
+    # --- sparse-matrix contraction --------------------------------------
+    scores = ModularityScorer().score(graph)
+    matching = match_locally_dominant(graph, scores)
+    bucket_graph, mapping = contract(graph, matching)
+    spgemm_graph = contract_via_spgemm(
+        graph, mapping, bucket_graph.n_vertices
+    )
+    identical = (
+        np.array_equal(bucket_graph.edges.ei, spgemm_graph.edges.ei)
+        and np.allclose(bucket_graph.edges.w, spgemm_graph.edges.w)
+        and np.allclose(bucket_graph.self_weights, spgemm_graph.self_weights)
+    )
+    print("\nSpGEMM contraction (S^T A S):")
+    print(f"  contracted to {spgemm_graph.n_vertices:,} communities")
+    print(f"  identical to bucket-sort contraction: {identical}")
+
+    p = Partition.from_labels(mapping)
+    q_matrix = matrix_modularity(graph, p.labels, p.n_communities)
+    q_metric = modularity(graph, p)
+    print(f"  matrix modularity  : {q_matrix:.6f}")
+    print(f"  metric modularity  : {q_metric:.6f}")
+
+    # --- Pregel matching --------------------------------------------------
+    print("\nPregel locally-dominant matching:")
+    engine = PregelEngine(graph)
+    states = engine.run(MatchingProgram(), max_supersteps=400)
+    partner = np.array(
+        [s["partner"] if s["status"] == "matched" else NO_VERTEX for s in states]
+    )
+    n_pairs = int(np.count_nonzero(partner != NO_VERTEX)) // 2
+    print(f"  matched pairs      : {n_pairs:,} (array kernel: {matching.n_pairs:,})")
+    print(f"  supersteps         : {engine.n_supersteps}")
+    print(f"  total messages     : {engine.total_messages():,}")
+    print("  messages per superstep (first 10):")
+    for s in engine.stats[:10]:
+        print(
+            f"    step {s.superstep:2d}: active={s.active_vertices:6,} "
+            f"messages={s.messages_sent:7,}"
+        )
+
+
+if __name__ == "__main__":
+    main()

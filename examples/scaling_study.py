@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Scaling study: a miniature of the paper's Figures 1-2.
+
+Runs the traced algorithm once per evaluation graph, then replays the
+trace on all five modeled platforms (two Cray XMT generations, three
+Intel OpenMP servers) across their processor/thread sweeps, printing
+execution times and speed-ups in the layout of the paper's plots.
+
+Run:  python examples/scaling_study.py [--scale 0.5]
+"""
+
+import argparse
+
+from repro.bench import (
+    format_scaling,
+    load_dataset,
+    peak_rate,
+    run_with_trace,
+    scaling_experiment,
+)
+from repro.bench.experiments import ALL_PLATFORMS, FIG12_GRAPHS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.5,
+        help="dataset scale factor (1.0 = benchmark default)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    for gname in FIG12_GRAPHS:
+        graph = load_dataset(gname, scale=args.scale, seed=args.seed)
+        print(
+            f"\n################ {gname} "
+            f"(|V|={graph.n_vertices:,}, |E|={graph.n_edges:,}) ################"
+        )
+        run = run_with_trace(graph, graph_name=gname)
+        print(
+            f"levels={run.result.n_levels}  terminated_by={run.result.terminated_by}"
+        )
+        sweeps = scaling_experiment(run, ALL_PLATFORMS, seed=args.seed)
+        for plat_name, sr in sweeps.items():
+            print()
+            print(format_scaling(sr))
+            print(format_scaling(sr, speedup=True))
+            print(
+                f"  peak rate: {peak_rate(sr) / 1e6:.2f}M edges/s "
+                f"(input edges / best time)"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has setuptools but no ``wheel`` package, so PEP 517
+editable installs (which build a wheel) fail; ``pip install -e . \
+--no-build-isolation --no-use-pep517`` uses this shim's ``develop``
+path instead.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

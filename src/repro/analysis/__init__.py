@@ -1,0 +1,29 @@
+"""Community post-processing: the paper's motivating use case.
+
+§I: communities "can be analyzed more thoroughly or form the basis for
+multi-level algorithms" and "[open] smaller portions of the data to
+current analysis tools."  This subpackage provides that downstream
+tooling: per-community summaries, community subgraph extraction, the
+community quotient graph, and dendrogram level selection.
+"""
+
+from repro.analysis.summary import CommunityStats, community_summary
+from repro.analysis.extraction import (
+    community_members,
+    community_subgraph,
+    quotient_graph,
+)
+from repro.analysis.levels import best_modularity_level, level_profile
+from repro.analysis.hierarchy import HierarchyNode, hierarchical_communities
+
+__all__ = [
+    "CommunityStats",
+    "community_summary",
+    "community_members",
+    "community_subgraph",
+    "quotient_graph",
+    "best_modularity_level",
+    "level_profile",
+    "HierarchyNode",
+    "hierarchical_communities",
+]

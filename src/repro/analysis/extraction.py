@@ -1,0 +1,47 @@
+"""Extracting communities for downstream analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import CommunityGraph
+from repro.graph.subgraph import induced_subgraph
+from repro.metrics.partition import Partition
+
+__all__ = ["community_members", "community_subgraph", "quotient_graph"]
+
+
+def community_members(partition: Partition, community: int) -> np.ndarray:
+    """Vertex ids of one community (alias of ``Partition.members``)."""
+    return partition.members(community)
+
+
+def community_subgraph(
+    graph: CommunityGraph, partition: Partition, community: int
+) -> tuple[CommunityGraph, np.ndarray]:
+    """The induced subgraph of one community, densely renumbered.
+
+    Returns ``(subgraph, original_ids)`` — the paper's "opening smaller
+    portions of the data to current analysis tools".
+    """
+    if partition.n_vertices != graph.n_vertices:
+        raise ValueError("partition size does not match graph")
+    return induced_subgraph(graph, partition.members(community))
+
+
+def quotient_graph(
+    graph: CommunityGraph, partition: Partition
+) -> CommunityGraph:
+    """The community quotient graph: one vertex per community.
+
+    Edge weights count the inter-community edge weight; self weights hold
+    the intra-community weight — exactly the community-graph invariant the
+    agglomeration maintains, but computable for *any* partition.
+    """
+    if partition.n_vertices != graph.n_vertices:
+        raise ValueError("partition size does not match graph")
+    from repro.core.contraction import _build_contracted
+
+    return _build_contracted(
+        graph, partition.labels, partition.n_communities
+    )

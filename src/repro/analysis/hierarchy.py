@@ -1,0 +1,117 @@
+"""Recursive (hierarchical) community detection.
+
+§I: communities "can be analyzed more thoroughly or form the basis for
+multi-level algorithms".  This driver applies :func:`detect_communities`
+recursively: any community larger than ``max_size`` is extracted as a
+subgraph and clustered again, producing a tree of nested communities.
+
+The tree is returned as a :class:`HierarchyNode` whose leaves partition
+the input vertex set; :meth:`HierarchyNode.flat_partition` flattens any
+cut of the tree back to a vertex labeling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.agglomeration import detect_communities
+from repro.core.scoring import EdgeScorer
+from repro.core.termination import TerminationCriteria
+from repro.graph.graph import CommunityGraph
+from repro.graph.subgraph import induced_subgraph
+from repro.metrics.partition import Partition
+from repro.types import VERTEX_DTYPE
+
+__all__ = ["HierarchyNode", "hierarchical_communities"]
+
+
+@dataclass
+class HierarchyNode:
+    """One community in the hierarchy.
+
+    ``vertices`` are input-graph ids; ``children`` is empty for leaves.
+    """
+
+    vertices: np.ndarray
+    depth: int
+    children: list["HierarchyNode"] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def leaves(self) -> list["HierarchyNode"]:
+        """All leaf nodes under (and including) this node."""
+        if self.is_leaf:
+            return [self]
+        out: list[HierarchyNode] = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return out
+
+    def max_depth(self) -> int:
+        if self.is_leaf:
+            return self.depth
+        return max(child.max_depth() for child in self.children)
+
+    def flat_partition(self, n_vertices: int) -> Partition:
+        """Leaf communities as a flat vertex labeling."""
+        labels = np.full(n_vertices, -1, dtype=VERTEX_DTYPE)
+        for k, leaf in enumerate(self.leaves()):
+            labels[leaf.vertices] = k
+        if np.any(labels < 0):
+            raise ValueError("hierarchy does not cover all vertices")
+        return Partition(labels)
+
+
+def hierarchical_communities(
+    graph: CommunityGraph,
+    *,
+    max_size: int,
+    max_depth: int = 8,
+    scorer: EdgeScorer | None = None,
+    termination: TerminationCriteria | None = None,
+) -> HierarchyNode:
+    """Recursively cluster until every leaf has at most ``max_size``
+    vertices or ``max_depth`` is reached (or a level stops splitting).
+
+    Returns the root node covering all vertices.
+    """
+    if max_size < 1:
+        raise ValueError("max_size must be at least 1")
+    if max_depth < 0:
+        raise ValueError("max_depth must be non-negative")
+    root = HierarchyNode(
+        vertices=np.arange(graph.n_vertices, dtype=VERTEX_DTYPE), depth=0
+    )
+    _split(root, graph, max_size, max_depth, scorer, termination)
+    return root
+
+
+def _split(
+    node: HierarchyNode,
+    graph: CommunityGraph,
+    max_size: int,
+    max_depth: int,
+    scorer: EdgeScorer | None,
+    termination: TerminationCriteria | None,
+) -> None:
+    if node.size <= max_size or node.depth >= max_depth:
+        return
+    sub, ids = induced_subgraph(graph, node.vertices)
+    result = detect_communities(sub, scorer, termination=termination)
+    if result.n_communities <= 1:
+        return  # indivisible: stays a leaf
+    for c in range(result.n_communities):
+        members = ids[result.partition.members(c)]
+        child = HierarchyNode(
+            vertices=members.astype(VERTEX_DTYPE), depth=node.depth + 1
+        )
+        node.children.append(child)
+        _split(child, graph, max_size, max_depth, scorer, termination)

@@ -1,0 +1,40 @@
+"""Dendrogram level selection.
+
+The agglomeration driver stops on coverage or at a local maximum, but the
+whole merge history is retained; these helpers pick the *best* level
+after the fact — useful when the run overshoots (e.g. coverage-terminated
+runs on graphs whose modularity peaks earlier).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dendrogram import Dendrogram
+from repro.graph.graph import CommunityGraph
+from repro.metrics.modularity import modularity
+from repro.metrics.partition import Partition
+
+__all__ = ["level_profile", "best_modularity_level"]
+
+
+def level_profile(
+    graph: CommunityGraph, dendrogram: Dendrogram
+) -> list[tuple[int, int, float]]:
+    """(level, n_communities, modularity) for every dendrogram level,
+    including level 0 (all singletons)."""
+    out = []
+    for level in range(dendrogram.n_levels + 1):
+        p = dendrogram.partition_at(level)
+        out.append((level, p.n_communities, modularity(graph, p)))
+    return out
+
+
+def best_modularity_level(
+    graph: CommunityGraph, dendrogram: Dendrogram
+) -> tuple[int, Partition]:
+    """The dendrogram level with maximum modularity (ties: coarsest)."""
+    profile = level_profile(graph, dendrogram)
+    qs = np.array([q for _, _, q in profile])
+    best = int(np.flatnonzero(qs >= qs.max() - 1e-15)[-1])
+    return best, dendrogram.partition_at(best)

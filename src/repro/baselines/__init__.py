@@ -1,0 +1,18 @@
+"""Sequential baseline community detectors.
+
+The paper sanity-checks its modularities against a sequential SNAP
+implementation; these baselines play that role here: CNM (the classic
+priority-queue agglomerative maximizer the paper's §II contrasts with),
+Louvain (Blondel et al., cited as related work [17]) and label
+propagation (a cheap non-modularity reference).
+"""
+
+from repro.baselines.cnm import cnm_communities
+from repro.baselines.louvain import louvain_communities
+from repro.baselines.label_prop import label_propagation_communities
+
+__all__ = [
+    "cnm_communities",
+    "louvain_communities",
+    "label_propagation_communities",
+]

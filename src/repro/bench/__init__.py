@@ -1,0 +1,40 @@
+"""Benchmark harness: scaled datasets, trace collection, platform sweeps
+and paper-style reporting.  The ``benchmarks/`` directory drives these to
+regenerate every table and figure of the paper's evaluation."""
+
+from repro.bench.datasets import DatasetSpec, DATASETS, load_dataset
+from repro.bench.harness import (
+    TracedRun,
+    run_with_trace,
+    scaling_experiment,
+    ScalingResult,
+    peak_rate,
+)
+from repro.bench.reporting import (
+    format_table,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_scaling,
+)
+from repro.bench.ascii_plot import ascii_xy_plot, plot_scaling_results
+from repro.bench import experiments
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "load_dataset",
+    "TracedRun",
+    "run_with_trace",
+    "scaling_experiment",
+    "ScalingResult",
+    "peak_rate",
+    "format_table",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_scaling",
+    "experiments",
+    "ascii_xy_plot",
+    "plot_scaling_results",
+]

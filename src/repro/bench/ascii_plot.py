@@ -1,0 +1,120 @@
+"""Text-mode log-log scatter plots of the paper's figures.
+
+The paper's Figures 1-3 are log-log plots of time (or speed-up) against
+allocated threads/processors, one series per platform.  This renders the
+same plots as Unicode text so the benchmark harness can regenerate the
+*figures*, not just their underlying tables, without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_xy_plot", "plot_scaling_results"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _log_ticks(lo: float, hi: float) -> list[float]:
+    ticks = []
+    k = math.floor(math.log10(lo)) if lo > 0 else 0
+    while 10.0**k <= hi * 1.0001:
+        if 10.0**k >= lo * 0.9999:
+            ticks.append(10.0**k)
+        k += 1
+    return ticks or [lo, hi]
+
+
+def ascii_xy_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 20,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (x, y) series on a log-log grid.
+
+    Each series gets a marker character; overlapping points show the
+    later series' marker.  Returns the multi-line plot string.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if min(xs) <= 0 or min(ys) <= 0:
+        raise ValueError("log-log plot requires positive coordinates")
+    lx0, lx1 = math.log10(min(xs)), math.log10(max(xs))
+    ly0, ly1 = math.log10(min(ys)), math.log10(max(ys))
+    if lx1 == lx0:
+        lx1 = lx0 + 1
+    if ly1 == ly0:
+        ly1 = ly0 + 1
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = round((math.log10(x) - lx0) / (lx1 - lx0) * (width - 1))
+        row = round((math.log10(y) - ly0) / (ly1 - ly0) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    legend = []
+    for k, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[k % len(_MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in pts:
+            place(x, y, marker)
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_ticks = {
+        height - 1 - round((math.log10(t) - ly0) / (ly1 - ly0) * (height - 1)): t
+        for t in _log_ticks(min(ys), max(ys))
+    }
+    label_width = max(
+        (len(f"{t:g}") for t in y_ticks.values()), default=1
+    )
+    for r, row in enumerate(grid):
+        tick = y_ticks.get(r)
+        prefix = (f"{tick:g}".rjust(label_width) if tick is not None else " " * label_width)
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_tick_line = [" "] * width
+    for t in _log_ticks(min(xs), max(xs)):
+        col = round((math.log10(t) - lx0) / (lx1 - lx0) * (width - 1))
+        label = f"{t:g}"
+        for k, ch in enumerate(label):
+            if col + k < width:
+                x_tick_line[col + k] = ch
+    lines.append(" " * label_width + "  " + "".join(x_tick_line))
+    footer = "  ".join(legend)
+    if xlabel or ylabel:
+        footer += f"   [x: {xlabel}, y: {ylabel}]"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def plot_scaling_results(
+    results: Mapping[str, "ScalingResult"],  # noqa: F821 - doc type
+    *,
+    speedup: bool = False,
+    title: str = "",
+) -> str:
+    """Figure 1/2-style plot of a platform sweep dictionary."""
+    series = {}
+    for name, sr in results.items():
+        if speedup:
+            pts = sorted(sr.speedups().items())
+        else:
+            pts = sorted(sr.median_times().items())
+        series[name] = [(float(p), float(v)) for p, v in pts]
+    return ascii_xy_plot(
+        series,
+        title=title,
+        xlabel="threads/processors",
+        ylabel="speed-up" if speedup else "seconds",
+    )

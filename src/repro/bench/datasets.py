@@ -1,0 +1,112 @@
+"""Scaled-down analogues of the paper's Table II evaluation graphs.
+
+The paper's graphs range from 69 M to 3.3 G edges; the analogues keep each
+graph's *role* in the evaluation at laptop scale (see DESIGN.md §2):
+
+* ``rmat-24-16`` — same R-MAT generator and parameters, smaller scale;
+* ``soc-LiveJournal1`` — planted-partition graph with power-law community
+  sizes: strong community structure, small size (runs out of parallelism
+  at high processor counts, as in the paper);
+* ``uk-2007-05`` — host-locality web-crawl model, the largest of the
+  three (keeps scaling where soc-LiveJournal1 stops).
+
+Relative sizes preserve the paper's ordering:
+uk-2007-05 > rmat > soc-LiveJournal1 by edge count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graph.graph import CommunityGraph
+from repro.generators.rmat import rmat_graph
+from repro.generators.sbm import planted_partition_graph
+from repro.generators.webgraph import webgraph
+from repro.util.rng import SeedLike
+
+__all__ = ["DatasetSpec", "DATASETS", "load_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One evaluation graph: paper-reported size plus our scaled builder."""
+
+    name: str
+    paper_vertices: int
+    paper_edges: int
+    reference: str
+    build: Callable[[float, SeedLike], CommunityGraph]
+
+    def load(self, scale: float = 1.0, seed: SeedLike = 0) -> CommunityGraph:
+        """Build the scaled analogue; ``scale`` multiplies the base size."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        return self.build(scale, seed)
+
+
+def _build_rmat(scale: float, seed: SeedLike) -> CommunityGraph:
+    # Base R-MAT scale 16 (65536 vertices, edge factor 16); the dataset
+    # `scale` factor shifts the R-MAT scale by its log2.
+    import math
+
+    s = max(4, 16 + int(round(math.log2(scale))))
+    return rmat_graph(s, 16, seed=seed)
+
+
+def _build_livejournal(scale: float, seed: SeedLike) -> CommunityGraph:
+    return planted_partition_graph(
+        int(1_500 * scale),
+        mean_community_size=30.0,
+        p_in=0.3,
+        background_degree=3.0,
+        seed=seed,
+    )
+
+
+def _build_uk(scale: float, seed: SeedLike) -> CommunityGraph:
+    return webgraph(
+        int(80_000 * scale),
+        edges_per_vertex=16.0,
+        mean_host_size=60.0,
+        on_host_fraction=0.8,
+        seed=seed,
+    )
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "rmat-24-16": DatasetSpec(
+        name="rmat-24-16",
+        paper_vertices=15_580_378,
+        paper_edges=262_482_711,
+        reference="[32], [33]",
+        build=_build_rmat,
+    ),
+    "soc-LiveJournal1": DatasetSpec(
+        name="soc-LiveJournal1",
+        paper_vertices=4_847_571,
+        paper_edges=68_993_773,
+        reference="[34]",
+        build=_build_livejournal,
+    ),
+    "uk-2007-05": DatasetSpec(
+        name="uk-2007-05",
+        paper_vertices=105_896_555,
+        paper_edges=3_301_876_564,
+        reference="[35]",
+        build=_build_uk,
+    ),
+}
+
+
+def load_dataset(
+    name: str, *, scale: float = 1.0, seed: SeedLike = 0
+) -> CommunityGraph:
+    """Build the scaled analogue of a Table II graph by paper name."""
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None
+    return spec.load(scale, seed)

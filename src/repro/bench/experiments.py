@@ -1,0 +1,103 @@
+"""Per-figure/table experiment definitions (DESIGN.md §4).
+
+Each function is self-contained: it builds the scaled dataset(s), runs the
+traced algorithm, sweeps the platforms the paper uses for that exhibit and
+returns structured results that the ``benchmarks/`` scripts assert on and
+print.  Figure/table numbering follows the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.bench.datasets import load_dataset
+from repro.bench.harness import (
+    ScalingResult,
+    TracedRun,
+    run_with_trace,
+    scaling_experiment,
+)
+from repro.platform.machine import (
+    CRAY_XMT,
+    CRAY_XMT2,
+    INTEL_E7_8870,
+    INTEL_X5650,
+    INTEL_X5570,
+    MachineModel,
+)
+from repro.util.rng import SeedLike
+
+__all__ = [
+    "FigureData",
+    "figure1",
+    "figure2",
+    "figure3",
+    "table3",
+    "ALL_PLATFORMS",
+    "FIG12_GRAPHS",
+]
+
+#: Platform order used in Figures 1-2.
+ALL_PLATFORMS: tuple[MachineModel, ...] = (
+    INTEL_X5570,
+    INTEL_X5650,
+    INTEL_E7_8870,
+    CRAY_XMT,
+    CRAY_XMT2,
+)
+
+#: The two graphs of Figures 1-2.
+FIG12_GRAPHS: tuple[str, ...] = ("rmat-24-16", "soc-LiveJournal1")
+
+
+@dataclass
+class FigureData:
+    """Sweeps keyed by graph name then platform name, plus the traced runs."""
+
+    sweeps: dict[str, dict[str, ScalingResult]]
+    runs: dict[str, TracedRun]
+
+
+def _trace(name: str, *, scale: float, seed: SeedLike) -> TracedRun:
+    graph = load_dataset(name, scale=scale, seed=seed)
+    return run_with_trace(graph, graph_name=name)
+
+
+def figure1(*, scale: float = 1.0, seed: SeedLike = 0) -> FigureData:
+    """Execution time vs threads/processors, 5 platforms × 2 graphs."""
+    sweeps: dict[str, dict[str, ScalingResult]] = {}
+    runs: dict[str, TracedRun] = {}
+    for gname in FIG12_GRAPHS:
+        run = _trace(gname, scale=scale, seed=seed)
+        runs[gname] = run
+        sweeps[gname] = scaling_experiment(run, ALL_PLATFORMS, seed=seed)
+    return FigureData(sweeps=sweeps, runs=runs)
+
+
+def figure2(*, scale: float = 1.0, seed: SeedLike = 0) -> FigureData:
+    """Speed-up vs best single-unit run — same sweeps as Figure 1."""
+    return figure1(scale=scale, seed=seed)
+
+
+def figure3(*, scale: float = 1.0, seed: SeedLike = 0) -> FigureData:
+    """uk-2007-05 time and speed-up on E7-8870 and XMT2 only (the paper's
+    two platforms big enough for the graph)."""
+    run = _trace("uk-2007-05", scale=scale, seed=seed)
+    sweeps = {
+        "uk-2007-05": scaling_experiment(
+            run, (INTEL_E7_8870, CRAY_XMT2), seed=seed
+        )
+    }
+    return FigureData(sweeps=sweeps, runs={"uk-2007-05": run})
+
+
+def table3(
+    *, scale: float = 1.0, seed: SeedLike = 0
+) -> Mapping[str, Mapping[str, ScalingResult]]:
+    """Peak processing rates: Figures 1+3 sweeps arranged per Table III."""
+    data = figure1(scale=scale, seed=seed)
+    uk = figure3(scale=scale, seed=seed)
+    sweeps = dict(data.sweeps)
+    sweeps["uk-2007-05"] = uk.sweeps["uk-2007-05"]
+    return sweeps

@@ -1,0 +1,150 @@
+"""Experiment harness: run the algorithm once with tracing, then sweep the
+trace over platforms and processor counts.
+
+This mirrors the paper's methodology: one community-detection execution
+per (graph, kernel-variant) produces the work profile; the platform cost
+model evaluates that profile at every allocation point, three seeded runs
+per point (§V: "each experiment is run three times").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.core.agglomeration import AgglomerationResult, detect_communities
+from repro.core.scoring import EdgeScorer
+from repro.core.termination import TerminationCriteria
+from repro.graph.graph import CommunityGraph
+from repro.platform.kernels import TraceRecorder
+from repro.platform.machine import MachineModel
+from repro.platform.sim import simulate_sweep, simulate_time
+from repro.util.rng import SeedLike
+
+__all__ = [
+    "TracedRun",
+    "run_with_trace",
+    "ScalingResult",
+    "scaling_experiment",
+    "peak_rate",
+]
+
+
+@dataclass
+class TracedRun:
+    """A community-detection run plus its recorded execution trace."""
+
+    graph_name: str
+    n_vertices: int
+    n_edges: int
+    result: AgglomerationResult
+    recorder: TraceRecorder
+
+
+def run_with_trace(
+    graph: CommunityGraph,
+    *,
+    graph_name: str = "graph",
+    scorer: EdgeScorer | None = None,
+    termination: TerminationCriteria | None = None,
+    matcher: Literal["worklist", "sweep"] = "worklist",
+    contractor: Literal["bucket", "chains"] = "bucket",
+) -> TracedRun:
+    """Run detection with a fresh recorder attached."""
+    recorder = TraceRecorder()
+    result = detect_communities(
+        graph,
+        scorer,
+        termination=termination,
+        matcher=matcher,
+        contractor=contractor,
+        recorder=recorder,
+    )
+    return TracedRun(
+        graph_name=graph_name,
+        n_vertices=graph.n_vertices,
+        n_edges=graph.n_edges,
+        result=result,
+        recorder=recorder,
+    )
+
+
+@dataclass
+class ScalingResult:
+    """One platform's sweep for one graph: times per parallelism point."""
+
+    machine: MachineModel
+    graph_name: str
+    n_edges: int
+    times: dict[int, list[float]] = field(default_factory=dict)
+
+    def median_times(self) -> dict[int, float]:
+        return {p: float(np.median(ts)) for p, ts in self.times.items()}
+
+    def best_single_unit_time(self) -> float:
+        """Best (minimum) time at one thread/processor — the paper's
+        speed-up baseline."""
+        if 1 not in self.times:
+            raise ValueError("sweep does not include parallelism 1")
+        return min(self.times[1])
+
+    def best_time(self) -> float:
+        """Fastest time at any allocation."""
+        return min(min(ts) for ts in self.times.values())
+
+    def best_parallelism(self) -> int:
+        """Allocation achieving :meth:`best_time`."""
+        return min(
+            self.times, key=lambda p: min(self.times[p])
+        )
+
+    def speedups(self) -> dict[int, float]:
+        """Median speed-up over the best single-unit time, per point."""
+        base = self.best_single_unit_time()
+        return {p: base / float(np.median(ts)) for p, ts in self.times.items()}
+
+    def best_speedup(self) -> float:
+        """The number the paper annotates on Figure 2."""
+        base = self.best_single_unit_time()
+        return base / self.best_time()
+
+
+def scaling_experiment(
+    run: TracedRun,
+    machines: Sequence[MachineModel],
+    *,
+    parallelism: Sequence[int] | None = None,
+    n_runs: int = 3,
+    seed: SeedLike = 0,
+) -> dict[str, ScalingResult]:
+    """Sweep a traced run across platforms; returns results keyed by
+    platform name."""
+    out: dict[str, ScalingResult] = {}
+    for machine in machines:
+        points = parallelism
+        if points is not None:
+            points = [p for p in points if p <= machine.max_parallelism]
+            if 1 not in points:
+                points = [1] + list(points)
+        times = simulate_sweep(
+            run.recorder.records,
+            machine,
+            points,
+            n_runs=n_runs,
+            seed=seed,
+        )
+        out[machine.name] = ScalingResult(
+            machine=machine,
+            graph_name=run.graph_name,
+            n_edges=run.n_edges,
+            times=times,
+        )
+    return out
+
+
+def peak_rate(result: ScalingResult) -> float:
+    """Peak processing rate in input edges per second (the paper's
+    Table III: |E| over the fastest time)."""
+    return result.n_edges / result.best_time()

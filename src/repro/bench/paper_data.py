@@ -1,0 +1,85 @@
+"""Every number the paper reports, in one place.
+
+Benchmarks and tests compare against these constants instead of scattering
+literals; EXPERIMENTS.md quotes them.  Sources are the paper's Tables I-III
+and the annotations printed on Figures 1-3.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1",
+    "TABLE2",
+    "TABLE3_RATES",
+    "FIG1_BEST_TIMES",
+    "FIG2_BEST_SPEEDUPS",
+    "FIG3_UK",
+]
+
+#: Table I: (processors, max threads/proc, clock string).
+TABLE1: dict[str, tuple[int, int, str]] = {
+    "XMT": (128, 100, "500MHz"),
+    "XMT2": (64, 102, "500MHz"),
+    "E7-8870": (4, 20, "2.40GHz"),
+    "X5650": (2, 12, "2.66GHz"),
+    "X5570": (2, 8, "2.93GHz"),
+}
+
+#: Table II: (|V|, |E|, reference tag).
+TABLE2: dict[str, tuple[int, int, str]] = {
+    "rmat-24-16": (15_580_378, 262_482_711, "[32], [33]"),
+    "soc-LiveJournal1": (4_847_571, 68_993_773, "[34]"),
+    "uk-2007-05": (105_896_555, 3_301_876_564, "[35]"),
+}
+
+#: Table III: peak processing rate in edges/second.
+TABLE3_RATES: dict[str, dict[str, float]] = {
+    "X5570": {"soc-LiveJournal1": 3.89e6, "rmat-24-16": 1.83e6},
+    "X5650": {"soc-LiveJournal1": 4.98e6, "rmat-24-16": 2.54e6},
+    "E7-8870": {
+        "soc-LiveJournal1": 6.90e6,
+        "rmat-24-16": 5.86e6,
+        "uk-2007-05": 6.54e6,
+    },
+    "XMT": {"soc-LiveJournal1": 0.41e6, "rmat-24-16": 1.20e6},
+    "XMT2": {
+        "soc-LiveJournal1": 1.73e6,
+        "rmat-24-16": 2.11e6,
+        "uk-2007-05": 3.11e6,
+    },
+}
+
+#: Figure 1 annotations: (best single-unit seconds, best overall seconds).
+FIG1_BEST_TIMES: dict[tuple[str, str], tuple[float, float]] = {
+    ("rmat-24-16", "X5570"): (823.0, 143.0),
+    ("soc-LiveJournal1", "X5570"): (90.9, 17.8),
+    ("rmat-24-16", "X5650"): (502.0, 103.0),
+    ("soc-LiveJournal1", "X5650"): (52.4, 13.9),
+    ("rmat-24-16", "E7-8870"): (737.0, 44.8),
+    ("soc-LiveJournal1", "E7-8870"): (80.1, 10.0),
+    ("rmat-24-16", "XMT"): (4320.0, 218.0),
+    ("soc-LiveJournal1", "XMT"): (571.0, 167.0),
+    ("rmat-24-16", "XMT2"): (3080.0, 124.0),
+    ("soc-LiveJournal1", "XMT2"): (369.0, 39.9),
+}
+
+#: Figure 2 annotations: best parallel speed-up.
+FIG2_BEST_SPEEDUPS: dict[tuple[str, str], float] = {
+    ("rmat-24-16", "X5570"): 5.75,
+    ("rmat-24-16", "X5650"): 4.86,
+    ("rmat-24-16", "E7-8870"): 16.5,
+    ("rmat-24-16", "XMT"): 19.8,
+    ("rmat-24-16", "XMT2"): 24.8,
+    ("soc-LiveJournal1", "X5570"): 5.12,
+    ("soc-LiveJournal1", "X5650"): 3.78,
+    ("soc-LiveJournal1", "E7-8870"): 8.01,
+    ("soc-LiveJournal1", "XMT"): 3.42,
+    ("soc-LiveJournal1", "XMT2"): 9.24,
+}
+
+#: Figure 3 annotations: uk-2007-05 {platform: (best seconds, speed-up)}.
+#: (The abstract quotes ~500 s on 80 Intel threads, 1100 s on the XMT2.)
+FIG3_UK: dict[str, tuple[float, float]] = {
+    "E7-8870": (504.9, 13.7),
+    "XMT2": (1063.0, 29.6),
+}

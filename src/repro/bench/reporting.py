@@ -1,0 +1,139 @@
+"""Plain-text, paper-style tables for the benchmark scripts.
+
+Every formatter returns a string so benchmarks can both print it and tee
+it into EXPERIMENTS.md evidence files.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.bench.datasets import DATASETS
+from repro.bench.paper_data import TABLE3_RATES
+from repro.bench.harness import ScalingResult, peak_rate
+from repro.platform.machine import PLATFORMS
+
+__all__ = [
+    "format_table",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_scaling",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[k]) for r in cells)) if cells else len(h)
+        for k, h in enumerate(headers)
+    ]
+    def fmt_row(row: Sequence[str]) -> str:
+        return "  ".join(c.ljust(widths[k]) for k, c in enumerate(row)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_table1() -> str:
+    """The paper's Table I: processor characteristics of the platforms."""
+    order = ["XMT", "XMT2", "E7-8870", "X5650", "X5570"]
+    rows = [PLATFORMS[name].table1_row() for name in order]
+    return format_table(
+        ["Processor", "# proc.", "Max. threads/proc.", "Proc. speed"],
+        rows,
+        title="Table I: processor characteristics (paper's architectural facts)",
+    )
+
+
+def format_table2(
+    measured: Mapping[str, tuple[int, int]] | None = None
+) -> str:
+    """Table II: graph sizes — paper values beside our scaled analogues.
+
+    ``measured`` maps dataset name to (|V|, |E|) of the built analogue.
+    """
+    rows = []
+    for name, spec in DATASETS.items():
+        row = [name, f"{spec.paper_vertices:,}", f"{spec.paper_edges:,}"]
+        if measured and name in measured:
+            v, e = measured[name]
+            row += [f"{v:,}", f"{e:,}"]
+        else:
+            row += ["-", "-"]
+        rows.append(row)
+    return format_table(
+        ["Graph", "paper |V|", "paper |E|", "ours |V|", "ours |E|"],
+        rows,
+        title="Table II: evaluation graphs (paper vs. scaled analogue)",
+    )
+
+
+#: Paper Table III values (edges/second) for side-by-side reporting.
+PAPER_TABLE3 = TABLE3_RATES
+
+
+def format_table3(
+    results: Mapping[str, Mapping[str, ScalingResult]]
+) -> str:
+    """Table III: peak processing rate per platform × graph.
+
+    ``results[graph_name][platform_name]`` holds each sweep.
+    """
+    platforms = ["X5570", "X5650", "E7-8870", "XMT", "XMT2"]
+    graphs = ["soc-LiveJournal1", "rmat-24-16", "uk-2007-05"]
+    rows = []
+    for plat in platforms:
+        row: list[object] = [plat]
+        for g in graphs:
+            res = results.get(g, {}).get(plat)
+            if res is None:
+                row.append("-")
+            else:
+                row.append(f"{peak_rate(res) / 1e6:.2f}e6")
+            paper = PAPER_TABLE3.get(plat, {}).get(g)
+            row.append(f"{paper / 1e6:.2f}e6" if paper else "-")
+        rows.append(row)
+    return format_table(
+        [
+            "Platform",
+            "soc-LJ (ours)",
+            "soc-LJ (paper)",
+            "rmat (ours)",
+            "rmat (paper)",
+            "uk (ours)",
+            "uk (paper)",
+        ],
+        rows,
+        title="Table III: peak processing rate (edges/second of the input graph)",
+    )
+
+
+def format_scaling(result: ScalingResult, *, speedup: bool = False) -> str:
+    """One platform's Figure 1 (times) or Figure 2 (speed-up) series."""
+    unit = result.machine.allocation_unit
+    if speedup:
+        series = result.speedups()
+        rows = [[p, f"{s:.2f}x"] for p, s in sorted(series.items())]
+        title = (
+            f"{result.graph_name} on {result.machine.name}: speed-up vs best "
+            f"single-{unit[:-1]} run (best {result.best_speedup():.1f}x)"
+        )
+        return format_table([unit, "speed-up"], rows, title=title)
+    rows = [
+        [p, f"{min(ts):.4g}", f"{sorted(ts)[len(ts) // 2]:.4g}", f"{max(ts):.4g}"]
+        for p, ts in sorted(result.times.items())
+    ]
+    title = (
+        f"{result.graph_name} on {result.machine.name}: simulated seconds "
+        f"(best {result.best_time():.4g}s at {result.best_parallelism()} {unit})"
+    )
+    return format_table([unit, "min", "median", "max"], rows, title=title)

@@ -1,0 +1,355 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro detect    # cluster a graph file, write communities
+    python -m repro generate  # write an R-MAT / planted / webgraph file
+    python -m repro info      # print size/degree statistics of a graph
+    python -m repro bench     # regenerate a paper exhibit (table1..figure3)
+
+Every command reads/writes the formats in :mod:`repro.graph.io`
+(``edgelist``, ``metis``, ``npz``, auto-detected from the extension).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro import __version__
+from repro.baselines import (
+    cnm_communities,
+    label_propagation_communities,
+    louvain_communities,
+)
+from repro.core import (
+    ConductanceScorer,
+    ModularityScorer,
+    TerminationCriteria,
+    detect_communities,
+    refine_partition,
+)
+from repro.graph import (
+    load_npz,
+    read_edgelist,
+    read_metis,
+    save_npz,
+    write_edgelist,
+    write_metis,
+)
+from repro.graph.graph import CommunityGraph
+from repro.metrics import Partition, average_conductance, coverage, modularity
+
+__all__ = ["main"]
+
+_SCORERS = {"modularity": ModularityScorer, "conductance": ConductanceScorer}
+
+
+def _load_graph(path: str, fmt: str) -> CommunityGraph:
+    if fmt == "auto":
+        if path.endswith(".npz"):
+            fmt = "npz"
+        elif path.endswith((".metis", ".graph")):
+            fmt = "metis"
+        else:
+            fmt = "edgelist"
+    if fmt == "npz":
+        return load_npz(path)
+    if fmt == "metis":
+        return read_metis(path)
+    return read_edgelist(path)
+
+
+def _save_graph(graph: CommunityGraph, path: str, fmt: str) -> None:
+    if fmt == "auto":
+        if path.endswith(".npz"):
+            fmt = "npz"
+        elif path.endswith((".metis", ".graph")):
+            fmt = "metis"
+        else:
+            fmt = "edgelist"
+    if fmt == "npz":
+        save_npz(graph, path)
+    elif fmt == "metis":
+        write_metis(graph, path)
+    else:
+        write_edgelist(graph, path)
+
+
+# ----------------------------------------------------------------- detect
+def _cmd_detect(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.input, args.format)
+    termination = TerminationCriteria(
+        coverage=args.coverage if args.coverage >= 0 else None,
+        min_communities=args.min_communities,
+        max_community_size=args.max_community_size,
+        max_levels=args.max_levels,
+    )
+
+    if args.algorithm == "parallel":
+        result = detect_communities(
+            graph,
+            _SCORERS[args.scorer](),
+            termination=termination,
+            matcher=args.matcher,
+            contractor=args.contractor,
+        )
+        partition = result.partition
+        print(
+            f"parallel agglomeration: {result.n_levels} levels, "
+            f"terminated by {result.terminated_by}",
+            file=sys.stderr,
+        )
+    elif args.algorithm == "cnm":
+        partition, _ = cnm_communities(graph)
+    elif args.algorithm == "louvain":
+        partition, _ = louvain_communities(graph, seed=args.seed)
+    else:
+        partition = label_propagation_communities(graph, seed=args.seed)
+
+    if args.refine:
+        partition, moves = refine_partition(graph, partition)
+        print(f"refinement: {moves} vertex moves", file=sys.stderr)
+
+    print(
+        f"communities : {partition.n_communities}\n"
+        f"modularity  : {modularity(graph, partition):.6f}\n"
+        f"coverage    : {coverage(graph, partition):.6f}\n"
+        f"conductance : {average_conductance(graph, partition):.6f}",
+        file=sys.stderr,
+    )
+    out = sys.stdout if args.output == "-" else open(args.output, "w")
+    try:
+        for v, c in enumerate(partition.labels.tolist()):
+            out.write(f"{v}\t{c}\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    return 0
+
+
+# --------------------------------------------------------------- generate
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.generators import (
+        planted_partition_graph,
+        rmat_graph,
+        webgraph,
+    )
+
+    if args.model == "rmat":
+        graph = rmat_graph(args.scale, args.edge_factor, seed=args.seed)
+    elif args.model == "planted":
+        graph = planted_partition_graph(args.vertices, seed=args.seed)
+    else:
+        graph = webgraph(args.vertices, seed=args.seed)
+    _save_graph(graph, args.output, args.format)
+    print(
+        f"wrote {graph.n_vertices} vertices, {graph.n_edges} edges "
+        f"to {args.output}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+# ------------------------------------------------------------------- info
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.input, args.format)
+    deg = graph.edges.degrees()
+    print(f"vertices      : {graph.n_vertices}")
+    print(f"edges         : {graph.n_edges}")
+    print(f"total weight  : {graph.total_weight():g}")
+    print(f"self weight   : {graph.internal_weight():g}")
+    if graph.n_vertices:
+        print(f"degree min/med/max : {deg.min()}/{int(np.median(deg))}/{deg.max()}")
+    print(f"memory words  : {graph.memory_words()}")
+    from repro.graph import connected_components
+
+    _, k = connected_components(graph.n_vertices, graph.edges.ei, graph.edges.ej)
+    print(f"components    : {k}")
+    return 0
+
+
+# ---------------------------------------------------------------- analyze
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import community_summary
+    from repro.bench.reporting import format_table
+    from repro.metrics import (
+        expansion,
+        intercluster_conductance,
+        performance,
+    )
+
+    graph = _load_graph(args.input, args.format)
+    labels = np.loadtxt(args.labels, dtype=np.int64, usecols=1)
+    if len(labels) != graph.n_vertices:
+        print(
+            f"error: {args.labels} has {len(labels)} labels for a graph "
+            f"with {graph.n_vertices} vertices",
+            file=sys.stderr,
+        )
+        return 1
+    partition = Partition.from_labels(labels)
+
+    print(f"communities            : {partition.n_communities}")
+    print(f"modularity             : {modularity(graph, partition):.6f}")
+    print(f"coverage               : {coverage(graph, partition):.6f}")
+    print(f"mean conductance       : {average_conductance(graph, partition):.6f}")
+    print(f"DIMACS performance     : {performance(graph, partition):.6f}")
+    print(f"DIMACS expansion       : {expansion(graph, partition):.6f}")
+    print(
+        "intercluster conduct.  : "
+        f"{intercluster_conductance(graph, partition):.6f}"
+    )
+    stats = community_summary(graph, partition)
+    rows = stats.as_rows(top=args.top)
+    print()
+    print(
+        format_table(
+            ["community", "size", "internal", "cut", "density", "conductance"],
+            rows,
+            title=f"largest {len(rows)} communities",
+        )
+    )
+    return 0
+
+
+# ------------------------------------------------------------------ bench
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        format_scaling,
+        format_table1,
+        format_table2,
+        format_table3,
+    )
+    from repro.bench.experiments import figure1, figure3, table3
+
+    if args.exhibit == "table1":
+        print(format_table1())
+    elif args.exhibit == "table2":
+        from repro.bench import load_dataset
+
+        measured = {
+            name: (g.n_vertices, g.n_edges)
+            for name, g in (
+                (n, load_dataset(n, scale=args.scale, seed=args.seed))
+                for n in ("rmat-24-16", "soc-LiveJournal1", "uk-2007-05")
+            )
+        }
+        print(format_table2(measured))
+    elif args.exhibit == "table3":
+        print(format_table3(table3(scale=args.scale, seed=args.seed)))
+    elif args.exhibit in ("figure1", "figure2"):
+        data = figure1(scale=args.scale, seed=args.seed)
+        speedup = args.exhibit == "figure2"
+        for g, sweeps in data.sweeps.items():
+            for _, sr in sweeps.items():
+                print(format_scaling(sr, speedup=speedup))
+                print()
+    else:  # figure3
+        data = figure3(scale=args.scale, seed=args.seed)
+        for _, sr in data.sweeps["uk-2007-05"].items():
+            print(format_scaling(sr))
+            print(format_scaling(sr, speedup=True))
+            print()
+    return 0
+
+
+# ----------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scalable multi-threaded community detection "
+        "(Riedy, Meyerhenke, Bader; IPDPSW 2012)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="log per-level progress to stderr",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("detect", help="cluster a graph file")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", default="-", help="labels file (default stdout)")
+    p.add_argument("--format", default="auto", choices=["auto", "edgelist", "metis", "npz"])
+    p.add_argument(
+        "--algorithm",
+        default="parallel",
+        choices=["parallel", "cnm", "louvain", "labelprop"],
+    )
+    p.add_argument("--scorer", default="modularity", choices=sorted(_SCORERS))
+    p.add_argument("--matcher", default="worklist", choices=["worklist", "sweep"])
+    p.add_argument("--contractor", default="bucket", choices=["bucket", "chains"])
+    p.add_argument(
+        "--coverage",
+        type=float,
+        default=-1.0,
+        help="stop at this coverage (negative = run to local maximum)",
+    )
+    p.add_argument("--min-communities", type=int, default=1)
+    p.add_argument("--max-community-size", type=int, default=None)
+    p.add_argument("--max-levels", type=int, default=None)
+    p.add_argument("--refine", action="store_true", help="run local refinement")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_detect)
+
+    p = sub.add_parser("generate", help="generate a synthetic graph file")
+    p.add_argument("model", choices=["rmat", "planted", "webgraph"])
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--format", default="auto", choices=["auto", "edgelist", "metis", "npz"])
+    p.add_argument("--scale", type=int, default=12, help="R-MAT scale")
+    p.add_argument("--edge-factor", type=int, default=16)
+    p.add_argument("--vertices", type=int, default=10_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("info", help="print graph statistics")
+    p.add_argument("input")
+    p.add_argument("--format", default="auto", choices=["auto", "edgelist", "metis", "npz"])
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser(
+        "analyze", help="summarize a community assignment against its graph"
+    )
+    p.add_argument("input", help="graph file")
+    p.add_argument("labels", help="vertex\\tcommunity file from `detect`")
+    p.add_argument("--format", default="auto", choices=["auto", "edgelist", "metis", "npz"])
+    p.add_argument("--top", type=int, default=10, help="communities to list")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("bench", help="regenerate a paper exhibit")
+    p.add_argument(
+        "exhibit",
+        choices=["table1", "table2", "table3", "figure1", "figure2", "figure3"],
+    )
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = None
+    if args.verbose:
+        from repro.util.log import enable_console_logging
+
+        handler = enable_console_logging()
+    try:
+        return args.func(args)
+    finally:
+        if handler is not None:
+            import logging
+
+            logging.getLogger("repro").removeHandler(handler)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

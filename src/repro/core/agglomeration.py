@@ -1,0 +1,259 @@
+"""The parallel agglomerative driver (§III).
+
+Repeats score → match → contract on the community graph until a local
+maximum or an external termination criterion, maintaining the dendrogram
+of merges and per-level statistics.  Every vertex starts as its own
+community; each level contracts an approximately-maximum-weight maximal
+matching of positively-scored community pairs.
+
+The kernels are selectable so the benchmark ablations can run the paper's
+legacy variants: ``matcher`` in ``{"worklist", "sweep"}`` (§IV-B new/old)
+and ``contractor`` in ``{"bucket", "chains"}`` (§IV-C new/old).  Legacy
+variants compute identical results but record the execution profile that
+distinguishes the platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Literal
+
+import numpy as np
+
+from repro.core.contraction import contract, contract_hash_chains
+from repro.core.dendrogram import Dendrogram
+from repro.core.matching import (
+    MatchingResult,
+    match_full_sweep,
+    match_locally_dominant,
+)
+from repro.core.scoring import EdgeScorer, ModularityScorer
+from repro.core.termination import TerminationCriteria
+from repro.graph.graph import CommunityGraph
+from repro.metrics.modularity import community_graph_modularity
+from repro.metrics.partition import Partition
+from repro.platform.kernels import TraceRecorder
+from repro.types import NO_VERTEX, VERTEX_DTYPE
+from repro.util.log import get_logger
+
+__all__ = ["LevelStats", "AgglomerationResult", "detect_communities"]
+
+_log = get_logger("core.agglomeration")
+
+_MATCHERS: dict[str, Callable[..., MatchingResult]] = {
+    "worklist": match_locally_dominant,
+    "sweep": match_full_sweep,
+}
+_CONTRACTORS = {
+    "bucket": contract,
+    "chains": contract_hash_chains,
+}
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """Statistics of one contraction level.
+
+    ``n_vertices``/``n_edges`` describe the community graph *entering* the
+    level; coverage and modularity are measured *after* its contraction.
+    """
+
+    level: int
+    n_vertices: int
+    n_edges: int
+    n_positive_scores: int
+    n_pairs: int
+    matching_passes: int
+    coverage_after: float
+    modularity_after: float
+
+
+@dataclass
+class AgglomerationResult:
+    """Full outcome of a community-detection run."""
+
+    partition: Partition
+    dendrogram: Dendrogram
+    levels: list[LevelStats] = field(default_factory=list)
+    terminated_by: str = ""
+    final_graph: CommunityGraph | None = None
+    scorer_name: str = ""
+
+    @property
+    def n_communities(self) -> int:
+        return self.partition.n_communities
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    def total_edge_work(self) -> int:
+        """Σ per-level community-graph edges — the paper's O(|E|·K) bound."""
+        return sum(s.n_edges for s in self.levels)
+
+
+def _limit_matching(
+    matching: MatchingResult,
+    scores: np.ndarray,
+    max_pairs: int,
+) -> MatchingResult:
+    """Keep only the ``max_pairs`` highest-scored matched pairs.
+
+    Used when a full contraction would drop below ``min_communities``.
+    """
+    if matching.n_pairs <= max_pairs:
+        return matching
+    me = matching.matched_edges
+    order = np.argsort(scores[me], kind="stable")[::-1][:max_pairs]
+    kept = np.sort(me[order])
+    partner = np.full_like(matching.partner, NO_VERTEX)
+    # Rebuild the partner array from the surviving edges only.
+    return MatchingResult(
+        partner=partner,  # filled below by caller-visible mutation
+        matched_edges=kept,
+        passes=matching.passes,
+        failed_claims=matching.failed_claims,
+    )
+
+
+def detect_communities(
+    graph: CommunityGraph,
+    scorer: EdgeScorer | None = None,
+    *,
+    termination: TerminationCriteria | None = None,
+    matcher: Literal["worklist", "sweep"] = "worklist",
+    contractor: Literal["bucket", "chains"] = "bucket",
+    recorder: TraceRecorder | None = None,
+    progress: Callable[[LevelStats], None] | None = None,
+) -> AgglomerationResult:
+    """Detect communities by parallel agglomeration.
+
+    Parameters
+    ----------
+    graph:
+        Input graph (left unmodified).
+    scorer:
+        Merge-gain edge scorer; defaults to modularity.
+    termination:
+        External stopping constraints; defaults to the paper's
+        coverage ≥ 0.5 experiment configuration.
+    matcher, contractor:
+        Kernel variants (legacy variants for the ablation benchmarks).
+    recorder:
+        Optional :class:`TraceRecorder` collecting the execution trace for
+        platform simulation.
+    progress:
+        Optional callback invoked with each level's :class:`LevelStats`
+        as it completes (long runs, CLI verbosity).
+
+    Returns
+    -------
+    AgglomerationResult
+        Final partition of the input graph, dendrogram, per-level stats,
+        the terminal community graph and the reason the loop stopped.
+    """
+    if scorer is None:
+        scorer = ModularityScorer()
+    if termination is None:
+        termination = TerminationCriteria.paper_experiments()
+    try:
+        match_fn = _MATCHERS[matcher]
+    except KeyError:
+        raise ValueError(f"unknown matcher {matcher!r}") from None
+    try:
+        contract_fn = _CONTRACTORS[contractor]
+    except KeyError:
+        raise ValueError(f"unknown contractor {contractor!r}") from None
+
+    current = graph.copy()
+    dendrogram = Dendrogram(graph.n_vertices)
+    levels: list[LevelStats] = []
+    # Input vertices per community, for the max_community_size veto.
+    member_counts = np.ones(graph.n_vertices, dtype=VERTEX_DTYPE)
+    terminated_by = "local_maximum"
+
+    while True:
+        if current.n_vertices <= termination.min_communities:
+            terminated_by = "min_communities"
+            break
+        if (
+            termination.max_levels is not None
+            and len(levels) >= termination.max_levels
+        ):
+            terminated_by = "max_levels"
+            break
+
+        scores = scorer.score(current, recorder)
+        if termination.max_community_size is not None:
+            e = current.edges
+            too_big = (
+                member_counts[e.ei] + member_counts[e.ej]
+                > termination.max_community_size
+            )
+            scores = np.where(too_big, -np.inf, scores)
+        n_positive = int(np.count_nonzero(scores > 0))
+        if n_positive == 0:
+            terminated_by = "local_maximum"
+            break
+
+        matching = match_fn(current, scores, recorder)
+        max_pairs = current.n_vertices - termination.min_communities
+        if matching.n_pairs > max_pairs:
+            limited = _limit_matching(matching, scores, max_pairs)
+            # Rebuild partner from the kept edges.
+            partner = limited.partner
+            kept = limited.matched_edges
+            partner[current.edges.ei[kept]] = current.edges.ej[kept]
+            partner[current.edges.ej[kept]] = current.edges.ei[kept]
+            matching = limited
+
+        entering_v = current.n_vertices
+        entering_e = current.n_edges
+        current, mapping = contract_fn(current, matching, recorder)
+        dendrogram.push(mapping)
+        member_counts = np.bincount(
+            mapping, weights=member_counts, minlength=current.n_vertices
+        ).astype(VERTEX_DTYPE)
+        if recorder is not None:
+            recorder.next_level()
+
+        cov = current.coverage()
+        stats = LevelStats(
+            level=len(levels),
+            n_vertices=entering_v,
+            n_edges=entering_e,
+            n_positive_scores=n_positive,
+            n_pairs=matching.n_pairs,
+            matching_passes=matching.passes,
+            coverage_after=cov,
+            modularity_after=community_graph_modularity(current),
+        )
+        levels.append(stats)
+        _log.info(
+            "level %d: %d -> %d communities, coverage %.3f",
+            stats.level,
+            entering_v,
+            current.n_vertices,
+            cov,
+        )
+        if progress is not None:
+            progress(stats)
+
+        if termination.coverage is not None and cov >= termination.coverage:
+            terminated_by = "coverage"
+            break
+        if (
+            termination.min_merge_fraction is not None
+            and matching.n_pairs < termination.min_merge_fraction * entering_v
+        ):
+            terminated_by = "stalled"
+            break
+
+    return AgglomerationResult(
+        partition=dendrogram.final_partition(),
+        dendrogram=dendrogram,
+        levels=levels,
+        terminated_by=terminated_by,
+        final_graph=current,
+        scorer_name=scorer.name,
+    )

@@ -1,0 +1,75 @@
+"""Memory accounting per the paper's space formulas.
+
+§IV-A: the graph needs ``3|V| + 3|E|`` 64-bit words (edge triples,
+bucket offsets, self weights) "plus a few additional scalars".
+§IV-B: scoring and matching need ``|E| + 4|V|`` words (scores, best-match
+slots, worklist, partner array) "plus an additional |V| locks on OpenMP
+platforms".
+§IV-C: the bucket-sort contraction needs ``|V| + 1 + 2|E|`` scratch words
+(more than the legacy hash-chain method's ``|E| + |V|``).
+
+These closed forms drive capacity planning (e.g. "uk-2007-05 needs 32-bit
+labels to fit the Intel box", §V-C) and are unit-tested against the
+actual array allocations of the implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryEstimate", "algorithm_memory_words"]
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """64-bit word counts per §IV's accounting."""
+
+    graph: int
+    scoring_matching: int
+    locks: int
+    contraction_scratch: int
+    contraction_scratch_legacy: int
+
+    @property
+    def total(self) -> int:
+        """Peak words: graph + score/match state + contraction scratch."""
+        return (
+            self.graph
+            + self.scoring_matching
+            + self.locks
+            + self.contraction_scratch
+        )
+
+    def bytes(self) -> int:
+        return 8 * self.total
+
+
+def algorithm_memory_words(
+    n_vertices: int,
+    n_edges: int,
+    *,
+    openmp: bool = True,
+    legacy_contraction: bool = False,
+) -> MemoryEstimate:
+    """The paper's space formulas for a graph of the given size.
+
+    Parameters
+    ----------
+    openmp:
+        Count the additional ``|V|`` lock words OpenMP platforms need
+        (the XMT's full/empty bits are free).
+    legacy_contraction:
+        Report the legacy hash-chain scratch (``|E| + |V|``) as the
+        active contraction scratch instead of the bucket sort's.
+    """
+    if n_vertices < 0 or n_edges < 0:
+        raise ValueError("sizes must be non-negative")
+    bucket = n_vertices + 1 + 2 * n_edges
+    legacy = n_edges + n_vertices
+    return MemoryEstimate(
+        graph=3 * n_vertices + 3 * n_edges,
+        scoring_matching=n_edges + 4 * n_vertices,
+        locks=n_vertices if openmp else 0,
+        contraction_scratch=legacy if legacy_contraction else bucket,
+        contraction_scratch_legacy=legacy,
+    )

@@ -1,0 +1,100 @@
+"""Local vertex-move refinement.
+
+§II closes with "incorporating refinement into our parallel algorithm is
+an area of active work" — this module implements that extension: greedy
+modularity-improving single-vertex moves over the final partition
+(Kernighan–Lin-style sweeps restricted to neighboring communities, the
+refinement used by the multilevel algorithms the paper cites [16], [18]).
+
+Each sweep visits every vertex once and moves it to the adjacent community
+with the largest positive modularity gain, if any.  Sweeps repeat until no
+move improves or the sweep budget is exhausted.  Moves are applied
+immediately (Gauss–Seidel style), which converges faster than Jacobi
+sweeps and cannot oscillate because every accepted move strictly
+increases modularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRAdjacency
+from repro.graph.graph import CommunityGraph
+from repro.metrics.partition import Partition
+from repro.types import VERTEX_DTYPE
+
+__all__ = ["refine_partition"]
+
+
+def refine_partition(
+    graph: CommunityGraph,
+    partition: Partition,
+    *,
+    max_sweeps: int = 10,
+) -> tuple[Partition, int]:
+    """Greedily move vertices between neighboring communities to raise
+    modularity.
+
+    Returns ``(refined_partition, n_moves)``.  The input partition is not
+    modified.  Labels in the result are densely renumbered (communities
+    emptied by moves disappear).
+    """
+    if partition.n_vertices != graph.n_vertices:
+        raise ValueError("partition size does not match graph")
+    if max_sweeps < 0:
+        raise ValueError("max_sweeps must be non-negative")
+
+    n = graph.n_vertices
+    w_total = graph.total_weight()
+    if w_total == 0 or n == 0:
+        return partition, 0
+
+    labels = partition.labels.copy()
+    csr = CSRAdjacency.from_edgelist(graph.edges)
+    strengths = graph.strengths()
+    # Volume of each community, updated as vertices move.
+    k = partition.n_communities
+    vol = np.bincount(labels, weights=strengths, minlength=k)
+
+    total_moves = 0
+    for _ in range(max_sweeps):
+        moves_this_sweep = 0
+        for v in range(n):
+            neigh = csr.neighbors(v)
+            if len(neigh) == 0:
+                continue
+            wgt = csr.neighbor_weights(v)
+            c_old = labels[v]
+            # Weight from v to each adjacent community.
+            neigh_labels = labels[neigh]
+            comms, inv = np.unique(neigh_labels, return_inverse=True)
+            w_to = np.bincount(inv, weights=wgt)
+            idx_old = np.searchsorted(comms, c_old)
+            w_old = (
+                w_to[idx_old]
+                if idx_old < len(comms) and comms[idx_old] == c_old
+                else 0.0
+            )
+            s_v = strengths[v]
+            # Gain of moving v from c_old to c: standard Louvain-style
+            # ΔQ = (w_to_c - w_old)/W - s_v (vol_c - vol_old + s_v)/(2W²)
+            vol_old_wo_v = vol[c_old] - s_v
+            gains = (w_to - w_old) / w_total - s_v * (
+                vol[comms] - vol_old_wo_v
+            ) / (2.0 * w_total**2)
+            if idx_old < len(comms) and comms[idx_old] == c_old:
+                gains[idx_old] = 0.0
+            best = int(np.argmax(gains))
+            if gains[best] > 1e-15 and comms[best] != c_old:
+                c_new = comms[best]
+                labels[v] = c_new
+                vol[c_old] -= s_v
+                vol[c_new] += s_v
+                moves_this_sweep += 1
+        total_moves += moves_this_sweep
+        if moves_this_sweep == 0:
+            break
+
+    if total_moves == 0:
+        return partition, 0
+    return Partition.from_labels(labels.astype(VERTEX_DTYPE)), total_moves

@@ -1,0 +1,78 @@
+"""Termination criteria (§III).
+
+The algorithm stops at a local maximum (no positive edge score) or on an
+external constraint.  The paper's performance experiments follow the 10th
+DIMACS Implementation Challenge spirit and stop once coverage reaches 0.5;
+"real applications will impose additional constraints like a minimum number
+of communities or maximum community size" — both are implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TerminationCriteria"]
+
+
+@dataclass(frozen=True)
+class TerminationCriteria:
+    """External stopping constraints for the agglomeration loop.
+
+    Attributes
+    ----------
+    coverage:
+        Stop once at least this fraction of input edge weight is inside
+        communities.  The paper's experiments use 0.5; ``None`` disables
+        the check and the algorithm runs to its local maximum.
+    min_communities:
+        Never contract below this many communities.
+    max_community_size:
+        If set, merges that would create a community with more input
+        vertices than this are vetoed (their scores are masked before
+        matching).
+    max_levels:
+        Hard cap on contraction phases.
+    min_merge_fraction:
+        Stop when a level contracts fewer than this fraction of the
+        current communities (the contraction has effectively stalled:
+        the star-graph O(|E|·|V|) regime of §III, where only one or two
+        communities merge per level).  ``None`` disables the check.
+    """
+
+    coverage: float | None = 0.5
+    min_communities: int = 1
+    max_community_size: int | None = None
+    max_levels: int | None = None
+    min_merge_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.coverage is not None and not 0.0 <= self.coverage <= 1.0:
+            raise ValueError("coverage target must lie in [0, 1]")
+        if self.min_communities < 1:
+            raise ValueError("min_communities must be at least 1")
+        if self.max_community_size is not None and self.max_community_size < 1:
+            raise ValueError("max_community_size must be at least 1")
+        if self.max_levels is not None and self.max_levels < 0:
+            raise ValueError("max_levels must be non-negative")
+        if self.min_merge_fraction is not None and not (
+            0.0 <= self.min_merge_fraction <= 1.0
+        ):
+            raise ValueError("min_merge_fraction must lie in [0, 1]")
+
+    @classmethod
+    def local_maximum(cls) -> "TerminationCriteria":
+        """Run until no merge improves the metric (no external limits)."""
+        return cls(coverage=None)
+
+    @classmethod
+    def paper_experiments(cls) -> "TerminationCriteria":
+        """The configuration of the paper's §V performance runs.
+
+        Coverage ≥ 0.5 per the DIMACS-challenge spirit, plus a stalled-
+        contraction guard: at the paper's graph sizes coverage binds
+        first; on small scaled graphs the score supply can dry up into a
+        one-merge-per-level star regime that the paper's runs never
+        entered, so the guard cuts the trace off at the same "still busy"
+        point.
+        """
+        return cls(coverage=0.5, min_merge_fraction=0.1)

@@ -1,0 +1,41 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate normally.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "InvariantViolation",
+    "ConvergenceError",
+    "PlatformModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or in-memory representation is malformed."""
+
+
+class InvariantViolation(ReproError):
+    """An internal data-structure invariant was violated.
+
+    Raised by the validation helpers (e.g. :func:`repro.graph.validate`)
+    when a representation check fails; indicates a library bug or direct
+    mutation of internal arrays by the caller.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its pass budget."""
+
+
+class PlatformModelError(ReproError):
+    """A platform/machine model was misconfigured or queried out of range."""

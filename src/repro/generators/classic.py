@@ -1,0 +1,124 @@
+"""Deterministic fixture graphs with known community structure.
+
+Small graphs whose optimal or expected clusterings are known in closed
+form; the test suite leans on these, and the quality benchmarks use the
+karate club and ring-of-cliques families (the standard sanity checks for
+modularity maximizers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.build import from_edges
+from repro.graph.graph import CommunityGraph
+from repro.types import VERTEX_DTYPE
+
+__all__ = [
+    "karate_club",
+    "ring_of_cliques",
+    "star_graph",
+    "path_graph",
+    "complete_graph",
+    "grid_graph",
+    "two_triangles",
+]
+
+# Zachary's karate club, 34 vertices / 78 edges (0-indexed edge list).
+_KARATE_EDGES = [
+    (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10),
+    (0, 11), (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31), (1, 2),
+    (1, 3), (1, 7), (1, 13), (1, 17), (1, 19), (1, 21), (1, 30), (2, 3),
+    (2, 7), (2, 8), (2, 9), (2, 13), (2, 27), (2, 28), (2, 32), (3, 7),
+    (3, 12), (3, 13), (4, 6), (4, 10), (5, 6), (5, 10), (5, 16), (6, 16),
+    (8, 30), (8, 32), (8, 33), (9, 33), (13, 33), (14, 32), (14, 33),
+    (15, 32), (15, 33), (18, 32), (18, 33), (19, 33), (20, 32), (20, 33),
+    (22, 32), (22, 33), (23, 25), (23, 27), (23, 29), (23, 32), (23, 33),
+    (24, 25), (24, 27), (24, 31), (25, 31), (26, 29), (26, 33), (27, 33),
+    (28, 31), (28, 33), (29, 32), (29, 33), (30, 32), (30, 33), (31, 32),
+    (31, 33), (32, 33),
+]
+
+
+def karate_club() -> CommunityGraph:
+    """Zachary's karate club (34 vertices, 78 edges, modularity ~0.41 opt)."""
+    arr = np.asarray(_KARATE_EDGES, dtype=VERTEX_DTYPE)
+    return from_edges(arr[:, 0], arr[:, 1], None, n_vertices=34)
+
+
+def ring_of_cliques(n_cliques: int, clique_size: int) -> CommunityGraph:
+    """``n_cliques`` cliques of ``clique_size`` joined in a ring by single
+    edges — the canonical planted-community benchmark.  Any sensible
+    community detector should recover the cliques."""
+    if n_cliques < 3:
+        raise ValueError("need at least 3 cliques for a ring")
+    if clique_size < 2:
+        raise ValueError("clique size must be at least 2")
+    srcs: list[int] = []
+    dsts: list[int] = []
+    for c in range(n_cliques):
+        base = c * clique_size
+        for u in range(clique_size):
+            for v in range(u + 1, clique_size):
+                srcs.append(base + u)
+                dsts.append(base + v)
+        # Ring link from this clique's last vertex to the next's first.
+        nxt = ((c + 1) % n_cliques) * clique_size
+        srcs.append(base + clique_size - 1)
+        dsts.append(nxt)
+    return from_edges(
+        np.asarray(srcs, dtype=VERTEX_DTYPE),
+        np.asarray(dsts, dtype=VERTEX_DTYPE),
+        None,
+        n_vertices=n_cliques * clique_size,
+    )
+
+
+def star_graph(n_leaves: int) -> CommunityGraph:
+    """Hub vertex 0 with ``n_leaves`` leaves — the paper's worst case for
+    agglomeration (only one pair contracts per level: O(|E|·|V|) work)."""
+    if n_leaves < 1:
+        raise ValueError("need at least 1 leaf")
+    leaves = np.arange(1, n_leaves + 1, dtype=VERTEX_DTYPE)
+    hubs = np.zeros(n_leaves, dtype=VERTEX_DTYPE)
+    return from_edges(hubs, leaves, None, n_vertices=n_leaves + 1)
+
+
+def path_graph(n_vertices: int) -> CommunityGraph:
+    """Simple path 0-1-...-(n-1)."""
+    if n_vertices < 1:
+        raise ValueError("need at least 1 vertex")
+    i = np.arange(n_vertices - 1, dtype=VERTEX_DTYPE)
+    return from_edges(i, i + 1, None, n_vertices=n_vertices)
+
+
+def complete_graph(n_vertices: int) -> CommunityGraph:
+    """K_n."""
+    if n_vertices < 1:
+        raise ValueError("need at least 1 vertex")
+    iu = np.triu_indices(n_vertices, k=1)
+    return from_edges(
+        iu[0].astype(VERTEX_DTYPE), iu[1].astype(VERTEX_DTYPE), None, n_vertices
+    )
+
+
+def grid_graph(rows: int, cols: int) -> CommunityGraph:
+    """2-D grid with 4-neighbor connectivity (no community structure)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    idx = np.arange(rows * cols, dtype=VERTEX_DTYPE).reshape(rows, cols)
+    srcs = [idx[:, :-1].ravel(), idx[:-1, :].ravel()]
+    dsts = [idx[:, 1:].ravel(), idx[1:, :].ravel()]
+    return from_edges(
+        np.concatenate(srcs), np.concatenate(dsts), None, rows * cols
+    )
+
+
+def two_triangles() -> CommunityGraph:
+    """Two triangles joined by one bridge edge — the smallest graph with an
+    unambiguous two-community structure; handy for hand-checked tests."""
+    edges = np.asarray(
+        [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3)],
+        dtype=VERTEX_DTYPE,
+    )
+    return from_edges(edges[:, 0], edges[:, 1], None, n_vertices=6)

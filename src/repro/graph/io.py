@@ -1,0 +1,202 @@
+"""Graph file I/O.
+
+Three formats cover the paper's data pipeline:
+
+* **edge list** — the SNAP dataset collection format used for
+  soc-LiveJournal1 (whitespace-separated ``src dst [weight]`` lines,
+  ``#`` comments);
+* **METIS / DIMACS-challenge adjacency** — the 10th DIMACS Implementation
+  Challenge's exchange format (the paper follows the challenge rules);
+* **npz** — a fast binary round-trip of the internal representation for
+  benchmark caching.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_edges
+from repro.graph.csr import CSRAdjacency
+from repro.graph.edgelist import EdgeList
+from repro.graph.graph import CommunityGraph
+from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
+
+__all__ = [
+    "read_edgelist",
+    "write_edgelist",
+    "read_metis",
+    "write_metis",
+    "save_npz",
+    "load_npz",
+]
+
+
+# --------------------------------------------------------------- edge lists
+def read_edgelist(path: str | os.PathLike, *, weighted: bool | None = None) -> CommunityGraph:
+    """Read a SNAP-style whitespace edge list.
+
+    ``weighted=None`` auto-detects a third column from the first data line.
+    Vertex ids must be non-negative integers; they are used directly (the
+    graph gets ``max_id + 1`` vertices).
+    """
+    srcs: list[int] = []
+    dsts: list[int] = []
+    wgts: list[float] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if weighted is None:
+                weighted = len(parts) >= 3
+            if len(parts) < 2 or (weighted and len(parts) < 3):
+                raise GraphFormatError(f"{path}:{lineno}: malformed edge line {line!r}")
+            try:
+                srcs.append(int(parts[0]))
+                dsts.append(int(parts[1]))
+                if weighted:
+                    wgts.append(float(parts[2]))
+            except ValueError as exc:
+                raise GraphFormatError(f"{path}:{lineno}: {exc}") from exc
+    i = np.asarray(srcs, dtype=VERTEX_DTYPE)
+    j = np.asarray(dsts, dtype=VERTEX_DTYPE)
+    w = np.asarray(wgts, dtype=WEIGHT_DTYPE) if weighted else None
+    if len(i) and min(i.min(), j.min()) < 0:
+        raise GraphFormatError(f"{path}: negative vertex id")
+    return from_edges(i, j, w)
+
+
+def write_edgelist(
+    graph: CommunityGraph, path: str | os.PathLike, *, weights: bool = True
+) -> None:
+    """Write each edge once (stored orientation); self weights as loops."""
+    e = graph.edges
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# repro community graph: {graph.n_vertices} vertices, {graph.n_edges} edges\n")
+        for i, j, w in zip(e.ei.tolist(), e.ej.tolist(), e.w.tolist()):
+            fh.write(f"{i}\t{j}\t{w:g}\n" if weights else f"{i}\t{j}\n")
+        for v in np.flatnonzero(graph.self_weights).tolist():
+            sw = float(graph.self_weights[v])
+            fh.write(f"{v}\t{v}\t{sw:g}\n" if weights else f"{v}\t{v}\n")
+
+
+# -------------------------------------------------------------------- METIS
+def read_metis(path: str | os.PathLike) -> CommunityGraph:
+    """Read a METIS/DIMACS-challenge adjacency file (1-indexed).
+
+    Supports the unweighted format (``fmt`` absent or ``0``) and edge
+    weights (``fmt=1`` / ``001``).  Vertex weights are rejected (the
+    community representation has no use for them).
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    # Keep blank lines (an isolated vertex has an empty adjacency row);
+    # drop only comments.
+    rows = [ln.strip() for ln in lines if not ln.lstrip().startswith("%")]
+    while rows and not rows[0]:
+        rows = rows[1:]
+    if not rows:
+        raise GraphFormatError(f"{path}: empty METIS file")
+    # Trailing blank lines beyond the declared vertex count are tolerated.
+    header = rows[0].split()
+    if len(header) < 2:
+        raise GraphFormatError(f"{path}: bad METIS header {rows[0]!r}")
+    n = int(header[0])
+    m_declared = int(header[1])
+    fmt = header[2] if len(header) > 2 else "0"
+    has_edge_weights = fmt.endswith("1")
+    if len(fmt) >= 2 and fmt[-2] == "1":
+        raise GraphFormatError(f"{path}: vertex weights unsupported (fmt={fmt})")
+    body = rows[1:]
+    while len(body) > n and not body[-1]:
+        body.pop()
+    if len(body) != n:
+        raise GraphFormatError(
+            f"{path}: header declares {n} vertices but file has "
+            f"{len(body)} adjacency lines"
+        )
+
+    srcs: list[int] = []
+    dsts: list[int] = []
+    wgts: list[float] = []
+    for v, row in enumerate(body):
+        fields = row.split()
+        step = 2 if has_edge_weights else 1
+        if has_edge_weights and len(fields) % 2:
+            raise GraphFormatError(f"{path}: odd field count on weighted line {v + 2}")
+        for k in range(0, len(fields), step):
+            u = int(fields[k]) - 1
+            if not 0 <= u < n:
+                raise GraphFormatError(f"{path}: neighbor {u + 1} out of range")
+            w = float(fields[k + 1]) if has_edge_weights else 1.0
+            # Each undirected edge appears in both endpoint rows; keep one.
+            if u > v or u == v:
+                srcs.append(v)
+                dsts.append(u)
+                wgts.append(w)
+    graph = from_edges(
+        np.asarray(srcs, dtype=VERTEX_DTYPE),
+        np.asarray(dsts, dtype=VERTEX_DTYPE),
+        np.asarray(wgts, dtype=WEIGHT_DTYPE),
+        n_vertices=n,
+    )
+    if graph.n_edges != m_declared and m_declared:
+        # DIMACS counts undirected edges once; tolerate self-loop slack only.
+        declared_loops = int(np.count_nonzero(graph.self_weights))
+        if graph.n_edges + declared_loops != m_declared:
+            raise GraphFormatError(
+                f"{path}: header declares {m_declared} edges, parsed {graph.n_edges}"
+            )
+    return graph
+
+
+def write_metis(graph: CommunityGraph, path: str | os.PathLike) -> None:
+    """Write DIMACS-challenge adjacency with edge weights (fmt=1)."""
+    csr = CSRAdjacency.from_edgelist(graph.edges)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"{graph.n_vertices} {graph.n_edges} 1\n")
+        for v in range(graph.n_vertices):
+            pairs: Iterable[str] = (
+                f"{u + 1} {w:g}"
+                for u, w in zip(
+                    csr.neighbors(v).tolist(), csr.neighbor_weights(v).tolist()
+                )
+            )
+            fh.write(" ".join(pairs) + "\n")
+
+
+# ---------------------------------------------------------------------- npz
+def save_npz(graph: CommunityGraph, path: str | os.PathLike) -> None:
+    """Binary round-trip of the exact internal representation."""
+    e = graph.edges
+    np.savez_compressed(
+        path,
+        ei=e.ei,
+        ej=e.ej,
+        w=e.w,
+        n_vertices=np.int64(e.n_vertices),
+        bucket_start=e.bucket_start,
+        bucket_end=e.bucket_end,
+        self_weights=graph.self_weights,
+    )
+
+
+def load_npz(path: str | os.PathLike) -> CommunityGraph:
+    """Load a graph stored by :func:`save_npz` (validates on load)."""
+    with np.load(path) as data:
+        edges = EdgeList(
+            ei=data["ei"],
+            ej=data["ej"],
+            w=data["w"],
+            n_vertices=int(data["n_vertices"]),
+            bucket_start=data["bucket_start"],
+            bucket_end=data["bucket_end"],
+        )
+        graph = CommunityGraph(edges, data["self_weights"])
+    graph.validate()
+    return graph

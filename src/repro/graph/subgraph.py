@@ -1,0 +1,60 @@
+"""Induced subgraphs and largest-component extraction.
+
+The paper's R-MAT workloads are "the largest component" of the generated
+edge stream; these helpers implement that preprocessing step on the
+community-graph representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.build import from_edges
+from repro.graph.components import connected_components
+from repro.graph.graph import CommunityGraph
+from repro.types import NO_VERTEX, VERTEX_DTYPE
+
+__all__ = ["induced_subgraph", "largest_component"]
+
+
+def induced_subgraph(
+    graph: CommunityGraph, vertices: np.ndarray
+) -> tuple[CommunityGraph, np.ndarray]:
+    """Subgraph induced by ``vertices`` with dense renumbering.
+
+    Returns ``(subgraph, mapping)`` where ``mapping[k]`` is the original id
+    of the subgraph's vertex ``k``.  Self weights of kept vertices are
+    preserved; edges with a dropped endpoint are discarded.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=VERTEX_DTYPE))
+    if len(vertices) and (
+        vertices[0] < 0 or vertices[-1] >= graph.n_vertices
+    ):
+        raise ValueError("vertex id out of range")
+    relabel = np.full(graph.n_vertices, NO_VERTEX, dtype=VERTEX_DTYPE)
+    relabel[vertices] = np.arange(len(vertices), dtype=VERTEX_DTYPE)
+
+    e = graph.edges
+    keep = (relabel[e.ei] != NO_VERTEX) & (relabel[e.ej] != NO_VERTEX)
+    sub = from_edges(
+        relabel[e.ei[keep]],
+        relabel[e.ej[keep]],
+        e.w[keep],
+        n_vertices=len(vertices),
+    )
+    sub.self_weights[:] += graph.self_weights[vertices]
+    return sub, vertices
+
+
+def largest_component(graph: CommunityGraph) -> tuple[CommunityGraph, np.ndarray]:
+    """Extract the largest connected component (ties: smallest component id).
+
+    Isolated vertices count as singleton components.  Returns the component
+    subgraph and the original-id mapping, as :func:`induced_subgraph`.
+    """
+    labels, k = connected_components(graph.n_vertices, graph.edges.ei, graph.edges.ej)
+    if k == 0:
+        return graph.copy(), np.arange(0, dtype=VERTEX_DTYPE)
+    sizes = np.bincount(labels, minlength=k)
+    big = int(np.argmax(sizes))
+    return induced_subgraph(graph, np.flatnonzero(labels == big))

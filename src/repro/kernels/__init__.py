@@ -1,0 +1,29 @@
+"""Global graph-analysis kernels (§I's "current analysis tools").
+
+The paper motivates community detection as a way to open "smaller portions
+of the data to current analysis tools"; this subpackage supplies those
+tools so the pipeline is closed end-to-end: BFS (distances / diameter
+probes), triangle counting and clustering coefficients (the measure behind
+[36]'s observation that R-MAT graphs lack community structure), k-core
+decomposition and PageRank.  All kernels are vectorized whole-array NumPy,
+the same execution style as the core algorithm.
+"""
+
+from repro.kernels.bfs import bfs_distances, eccentricity_lower_bound
+from repro.kernels.triangles import (
+    triangle_counts,
+    global_clustering_coefficient,
+    local_clustering_coefficients,
+)
+from repro.kernels.kcore import core_numbers
+from repro.kernels.pagerank import pagerank
+
+__all__ = [
+    "bfs_distances",
+    "eccentricity_lower_bound",
+    "triangle_counts",
+    "global_clustering_coefficient",
+    "local_clustering_coefficients",
+    "core_numbers",
+    "pagerank",
+]

@@ -1,0 +1,33 @@
+"""Community quality metrics: modularity, conductance, coverage, and
+partition-comparison measures (NMI/ARI)."""
+
+from repro.metrics.partition import Partition
+from repro.metrics.modularity import modularity, community_graph_modularity
+from repro.metrics.conductance import conductances, average_conductance
+from repro.metrics.coverage import coverage, mirror_coverage
+from repro.metrics.comparison import (
+    normalized_mutual_information,
+    adjusted_rand_index,
+)
+from repro.metrics.dimacs import (
+    performance,
+    expansion,
+    intercluster_conductance,
+    min_intracluster_density,
+)
+
+__all__ = [
+    "Partition",
+    "modularity",
+    "community_graph_modularity",
+    "conductances",
+    "average_conductance",
+    "coverage",
+    "mirror_coverage",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "performance",
+    "expansion",
+    "intercluster_conductance",
+    "min_intracluster_density",
+]

@@ -1,0 +1,93 @@
+"""Disjoint vertex partitions (community assignments).
+
+A :class:`Partition` is a dense labeling ``labels[v] -> community id`` with
+ids in ``0..n_communities-1``.  The agglomerative driver, the baselines and
+every metric exchange this type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.types import VERTEX_DTYPE
+from repro.util.arrays import renumber_dense
+
+__all__ = ["Partition"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An immutable community assignment over ``n_vertices`` vertices."""
+
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        labels = np.asarray(self.labels, dtype=VERTEX_DTYPE)
+        if labels.ndim != 1:
+            raise ValueError("labels must be 1-D")
+        if len(labels):
+            if labels.min() < 0:
+                raise ValueError("negative community label")
+            k = int(labels.max()) + 1
+            present = np.zeros(k, dtype=bool)
+            present[labels] = True
+            if not present.all():
+                raise ValueError(
+                    "community labels must be dense 0..k-1 "
+                    "(use Partition.from_labels to renumber)"
+                )
+        object.__setattr__(self, "labels", labels)
+
+    @classmethod
+    def from_labels(cls, labels: np.ndarray) -> "Partition":
+        """Build from arbitrary integer labels, renumbering densely."""
+        dense, _ = renumber_dense(np.asarray(labels))
+        return cls(dense)
+
+    @classmethod
+    def singletons(cls, n_vertices: int) -> "Partition":
+        """Every vertex in its own community (the agglomeration start)."""
+        return cls(np.arange(n_vertices, dtype=VERTEX_DTYPE))
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.labels)
+
+    @property
+    def n_communities(self) -> int:
+        return int(self.labels.max()) + 1 if len(self.labels) else 0
+
+    def sizes(self) -> np.ndarray:
+        """Vertex count of every community."""
+        return np.bincount(self.labels, minlength=self.n_communities).astype(
+            VERTEX_DTYPE
+        )
+
+    def members(self, community: int) -> np.ndarray:
+        """Vertex ids belonging to ``community``."""
+        if not 0 <= community < self.n_communities:
+            raise IndexError(f"community {community} out of range")
+        return np.flatnonzero(self.labels == community)
+
+    def restrict_to(self, vertices: np.ndarray) -> "Partition":
+        """Partition induced on a vertex subset (labels renumbered)."""
+        return Partition.from_labels(self.labels[np.asarray(vertices)])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return np.array_equal(self.labels, other.labels)
+
+    def same_clustering(self, other: "Partition") -> bool:
+        """True if both partitions induce identical vertex groupings,
+        regardless of how the community ids are numbered."""
+        if self.n_vertices != other.n_vertices:
+            return False
+        if self.n_communities != other.n_communities:
+            return False
+        # Two labelings are equal up to renaming iff the pairing of
+        # (self_label, other_label) is a bijection.
+        pairs = self.labels * np.int64(other.n_communities + 1) + other.labels
+        return len(np.unique(pairs)) == self.n_communities

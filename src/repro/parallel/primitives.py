@@ -1,0 +1,48 @@
+"""Vectorized equivalents of the paper's fine-grained parallel primitives.
+
+The C implementation leans on three machine facilities: atomic max/min
+into per-vertex slots (full/empty bits or compare-and-swap loops), atomic
+fetch-and-add, and prefix sums for contiguous bucket layout.  Each has an
+exact whole-array NumPy counterpart used by the core kernels; they are
+kept in one place so the matching/contraction code reads like the paper's
+pseudocode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["segmented_max_at", "segmented_min_at", "prefix_sum"]
+
+
+def segmented_max_at(
+    out: np.ndarray, index: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """``out[index[k]] = max(out[index[k]], values[k])`` for all k.
+
+    The vectorized form of the atomic-max claim loop in the matching
+    kernel.  Mutates and returns ``out``.
+    """
+    np.maximum.at(out, index, values)
+    return out
+
+
+def segmented_min_at(
+    out: np.ndarray, index: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """``out[index[k]] = min(out[index[k]], values[k])`` for all k."""
+    np.minimum.at(out, index, values)
+    return out
+
+
+def prefix_sum(counts: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum: offsets[v] = Σ counts[:v], length ``n+1``.
+
+    The synchronization the paper *avoids* by allowing non-contiguous
+    buckets; provided for the contiguous layout used here and for tests
+    comparing both layouts' bookkeeping.
+    """
+    counts = np.asarray(counts)
+    out = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=out[1:])
+    return out

@@ -1,0 +1,49 @@
+"""Simulated threaded platforms: machine models for the paper's five test
+systems and a cost model turning measured kernel traces into execution
+times at any processor/thread count."""
+
+from repro.platform.kernels import KernelRecord, TraceRecorder
+from repro.platform.machine import (
+    MachineModel,
+    CRAY_XMT,
+    CRAY_XMT2,
+    INTEL_E7_8870,
+    INTEL_X5650,
+    INTEL_X5570,
+    PLATFORMS,
+    get_machine,
+)
+from repro.platform.sim import simulate_time, simulate_sweep, PhaseBreakdown
+from repro.platform.noise import run_variation
+from repro.platform.traceio import save_trace, load_trace
+from repro.platform.whatif import single_socket, scale_bandwidth, scale_clock
+from repro.platform.utilization import (
+    KernelUtilization,
+    mean_utilization,
+    utilization_profile,
+)
+
+__all__ = [
+    "KernelRecord",
+    "TraceRecorder",
+    "MachineModel",
+    "CRAY_XMT",
+    "CRAY_XMT2",
+    "INTEL_E7_8870",
+    "INTEL_X5650",
+    "INTEL_X5570",
+    "PLATFORMS",
+    "get_machine",
+    "simulate_time",
+    "simulate_sweep",
+    "PhaseBreakdown",
+    "run_variation",
+    "save_trace",
+    "load_trace",
+    "KernelUtilization",
+    "mean_utilization",
+    "utilization_profile",
+    "single_socket",
+    "scale_bandwidth",
+    "scale_clock",
+]

@@ -1,0 +1,110 @@
+"""Kernel execution traces.
+
+The core algorithm's parallel primitives cannot run on real Cray XMT or
+80-thread Intel hardware from inside this library, but their *work* is
+fully observable: how many items each flat parallel loop touches, how many
+words it moves, how many atomic updates and lock acquisitions it would
+issue, how contended the hot vertices are, and how much dependent
+pointer-chasing a legacy kernel performs.  Every kernel records those
+quantities into a :class:`TraceRecorder`; the cost model in
+:mod:`repro.platform.sim` replays the trace against a machine description
+to produce simulated wall-clock times for any processor count.
+
+A ``recorder=None`` argument everywhere makes recording strictly optional
+and free when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KernelRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """One flat parallel loop (or one pass of an iterative kernel).
+
+    Attributes
+    ----------
+    name:
+        Kernel identity, e.g. ``"score"``, ``"match_pass"``,
+        ``"contract_sort"``.  The cost model keys per-kernel constants on
+        this.
+    items:
+        Number of independent work items the loop iterates over (its
+        available parallelism).
+    mem_words:
+        64-bit words read + written across the loop (bandwidth demand).
+    atomics:
+        Atomic fetch-and-add / compare-and-swap operations issued.
+    locks:
+        Lock acquisitions (OpenMP locks or XMT full/empty transitions).
+    contention:
+        Hot-spot factor in ``[0, 1]``: fraction of atomic/lock operations
+        that collide on popular words (e.g. failed matching claims, or
+        duplicate proposals to one high-degree vertex).
+    chain_ops:
+        Serially *dependent* memory operations (linked-list walks in the
+        legacy contraction).  These cannot be hidden by more threads on
+        cache-based machines; the XMT tolerates them.
+    level:
+        Agglomeration level this record belongs to (filled by the
+        recorder).
+    """
+
+    name: str
+    items: int
+    mem_words: int = 0
+    atomics: int = 0
+    locks: int = 0
+    contention: float = 0.0
+    chain_ops: int = 0
+    level: int = 0
+
+    def __post_init__(self) -> None:
+        if self.items < 0 or self.mem_words < 0 or self.atomics < 0:
+            raise ValueError("trace quantities must be non-negative")
+        if not 0.0 <= self.contention <= 1.0:
+            raise ValueError("contention must lie in [0, 1]")
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates kernel records across the agglomeration levels."""
+
+    records: list[KernelRecord] = field(default_factory=list)
+    level: int = 0
+
+    def record(self, rec: KernelRecord) -> None:
+        """Append a record, stamping the current level."""
+        if rec.level != self.level:
+            rec = KernelRecord(
+                name=rec.name,
+                items=rec.items,
+                mem_words=rec.mem_words,
+                atomics=rec.atomics,
+                locks=rec.locks,
+                contention=rec.contention,
+                chain_ops=rec.chain_ops,
+                level=self.level,
+            )
+        self.records.append(rec)
+
+    def next_level(self) -> None:
+        """Advance the level stamp (called once per contraction phase)."""
+        self.level += 1
+
+    # Convenience queries used by tests and reporting -------------------
+    def by_name(self, name: str) -> list[KernelRecord]:
+        return [r for r in self.records if r.name == name]
+
+    def by_level(self, level: int) -> list[KernelRecord]:
+        return [r for r in self.records if r.level == level]
+
+    def total_items(self, name: str | None = None) -> int:
+        return sum(r.items for r in self.records if name is None or r.name == name)
+
+    @property
+    def n_levels(self) -> int:
+        return max((r.level for r in self.records), default=-1) + 1

@@ -1,0 +1,41 @@
+"""Run-to-run variation model.
+
+The paper runs each configuration three times because both the platforms
+and the algorithm are non-deterministic; §V-C singles out the XMT2's
+variation ("appears related to finding different community structures")
+and notes compiler thread under-allocation bursts.  Our algorithm is
+deterministic, so the variability is reintroduced here as seeded
+multiplicative noise: log-normal with a per-platform spread, slightly
+larger at higher processor counts where scheduling variance grows.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.platform.machine import MachineModel
+
+__all__ = ["run_variation"]
+
+#: Baseline relative standard deviation per platform kind.
+_BASE_SIGMA = {"openmp": 0.015, "xmt": 0.03}
+#: The XMT2 shows visibly larger spread in the paper's Figure 1.
+_XMT2_SIGMA = 0.08
+
+
+def run_variation(machine: MachineModel, p: int, run_entropy: int) -> float:
+    """A multiplicative time factor for one run (mean ≈ 1).
+
+    Deterministic in ``(machine, p, run_entropy)`` and independent across
+    those inputs: the machine name is folded into the stream via a stable
+    CRC so different platforms at the same ``p`` draw different noise.
+    """
+    name_tag = zlib.crc32(machine.name.encode())
+    rng = np.random.default_rng([int(run_entropy) & (2**63 - 1), int(p), name_tag])
+    sigma = _XMT2_SIGMA if machine.name == "XMT2" else _BASE_SIGMA[machine.kind]
+    sigma *= 1.0 + 0.3 * np.log2(max(p, 1)) / 7.0
+    factor = float(np.exp(rng.normal(0.0, sigma)))
+    # Clamp pathological draws so simulated points stay plot-plausible.
+    return float(np.clip(factor, 0.8, 1.3))

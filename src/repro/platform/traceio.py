@@ -1,0 +1,50 @@
+"""Trace serialization.
+
+A recorded execution trace is the expensive artifact (it required running
+the full algorithm); persisting it lets sweeps, plots and what-if machine
+studies run offline.  Plain JSON keeps the files inspectable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+
+from repro.errors import ReproError
+from repro.platform.kernels import KernelRecord, TraceRecorder
+
+__all__ = ["save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(recorder: TraceRecorder, path: str | os.PathLike) -> None:
+    """Write a trace to a JSON file."""
+    payload = {
+        "format": "repro-trace",
+        "version": _FORMAT_VERSION,
+        "records": [asdict(rec) for rec in recorder.records],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+
+
+def load_trace(path: str | os.PathLike) -> TraceRecorder:
+    """Read a trace written by :func:`save_trace`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or payload.get("format") != "repro-trace":
+        raise ReproError(f"{path}: not a repro trace file")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ReproError(
+            f"{path}: unsupported trace version {payload.get('version')!r}"
+        )
+    recorder = TraceRecorder()
+    try:
+        records = [KernelRecord(**rec) for rec in payload["records"]]
+    except (TypeError, KeyError, ValueError) as exc:
+        raise ReproError(f"{path}: malformed trace record: {exc}") from exc
+    recorder.records = records
+    recorder.level = max((r.level for r in records), default=-1) + 1
+    return recorder

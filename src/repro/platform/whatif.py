@@ -1,0 +1,66 @@
+"""What-if machine variants.
+
+§V leaves hardware questions open ("this data is insufficient to see if
+a single, slower E7-8870's additional cores can outperform the faster
+X5650's fewer cores"); the cost model can pose them directly.  These
+helpers derive hypothetical machines from the calibrated ones without
+touching the calibration itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import PlatformModelError
+from repro.platform.machine import MachineModel
+
+__all__ = ["single_socket", "scale_bandwidth", "scale_clock"]
+
+
+def single_socket(machine: MachineModel, *, sockets: int = 1) -> MachineModel:
+    """A ``sockets``-socket variant of an Intel machine.
+
+    Physical cores and the aggregate bandwidth ceiling shrink
+    proportionally; per-thread characteristics are unchanged.
+    """
+    if machine.kind != "openmp":
+        raise PlatformModelError("single_socket applies to Intel machines")
+    if not 1 <= sockets <= machine.n_processors:
+        raise PlatformModelError(
+            f"sockets must lie in 1..{machine.n_processors}"
+        )
+    frac = sockets / machine.n_processors
+    return dataclasses.replace(
+        machine,
+        name=f"{machine.name}x{sockets}",
+        n_processors=sockets,
+        physical_cores=int(machine.physical_cores * frac),
+        total_bandwidth_words=machine.total_bandwidth_words * frac,
+    )
+
+
+def scale_bandwidth(machine: MachineModel, factor: float) -> MachineModel:
+    """Scale both per-thread and aggregate memory bandwidth.
+
+    The XMT2-vs-XMT contrast in the paper is essentially this knob: the
+    new generation's "additional memory bandwidth within a node".
+    """
+    if factor <= 0:
+        raise PlatformModelError("factor must be positive")
+    return dataclasses.replace(
+        machine,
+        name=f"{machine.name}(bw x{factor:g})",
+        words_per_sec_per_thread=machine.words_per_sec_per_thread * factor,
+        total_bandwidth_words=machine.total_bandwidth_words * factor,
+    )
+
+
+def scale_clock(machine: MachineModel, factor: float) -> MachineModel:
+    """Scale the processor clock (compute-side speed only)."""
+    if factor <= 0:
+        raise PlatformModelError("factor must be positive")
+    return dataclasses.replace(
+        machine,
+        name=f"{machine.name}(clk x{factor:g})",
+        clock_hz=machine.clock_hz * factor,
+    )

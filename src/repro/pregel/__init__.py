@@ -1,0 +1,29 @@
+"""Bulk-synchronous vertex-centric (Pregel-style) execution substrate.
+
+§VI names "cloud-based implementations through environments like
+Pregel" as a path for this algorithm.  This subpackage provides a small
+BSP engine — vertex programs, message passing, vote-to-halt, aggregate
+statistics — plus vertex programs for the building blocks: connected
+components, weighted label propagation, and the locally-dominant
+matching at the core of the paper's algorithm expressed as a
+propose/accept message protocol.
+
+The engine counts messages and supersteps, giving the communication-
+volume view a distributed implementation would care about.
+"""
+
+from repro.pregel.engine import PregelEngine, SuperstepStats, VertexContext
+from repro.pregel.programs import (
+    ComponentsProgram,
+    LabelPropagationProgram,
+    MatchingProgram,
+)
+
+__all__ = [
+    "PregelEngine",
+    "SuperstepStats",
+    "VertexContext",
+    "ComponentsProgram",
+    "LabelPropagationProgram",
+    "MatchingProgram",
+]

@@ -1,0 +1,148 @@
+"""The BSP engine.
+
+Execution model (after Malewicz et al., SIGMOD 2010):
+
+* every vertex holds a mutable ``state``;
+* in each superstep, ``compute(ctx, messages)`` runs for every *active*
+  vertex (one that received messages or has not voted to halt);
+* messages sent in superstep ``t`` are delivered in ``t + 1``;
+* the run ends when every vertex has halted and no messages are in
+  flight, or when ``max_supersteps`` is exceeded.
+
+The engine is deliberately sequential under the hood (this is a
+semantics substrate, not a performance one) but the programming model is
+exactly the distributed one: per-superstep message counts are recorded so
+experiments can reason about communication volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.graph.csr import CSRAdjacency
+from repro.graph.graph import CommunityGraph
+
+__all__ = ["VertexContext", "VertexProgram", "SuperstepStats", "PregelEngine"]
+
+
+@dataclass
+class SuperstepStats:
+    """Per-superstep execution statistics."""
+
+    superstep: int
+    active_vertices: int
+    messages_sent: int
+
+
+class VertexContext:
+    """The API a vertex program sees while computing one vertex."""
+
+    def __init__(self, engine: "PregelEngine", vertex: int) -> None:
+        self._engine = engine
+        self.vertex = vertex
+        self.halted = False
+
+    @property
+    def superstep(self) -> int:
+        return self._engine._superstep
+
+    @property
+    def state(self) -> Any:
+        return self._engine.states[self.vertex]
+
+    @state.setter
+    def state(self, value: Any) -> None:
+        self._engine.states[self.vertex] = value
+
+    def neighbors(self) -> np.ndarray:
+        return self._engine._csr.neighbors(self.vertex)
+
+    def neighbor_weights(self) -> np.ndarray:
+        return self._engine._csr.neighbor_weights(self.vertex)
+
+    def send(self, target: int, message: Any) -> None:
+        """Queue a message for delivery next superstep."""
+        self._engine._outbox[target].append(message)
+        self._engine._messages_this_step += 1
+
+    def send_to_neighbors(self, message: Any) -> None:
+        for u in self.neighbors().tolist():
+            self.send(u, message)
+
+    def vote_to_halt(self) -> None:
+        """Deactivate until a message arrives."""
+        self.halted = True
+
+
+class VertexProgram(Protocol):
+    """A vertex-centric program."""
+
+    def init(self, vertex: int, graph: CommunityGraph) -> Any:
+        """Initial state of ``vertex``."""
+        ...  # pragma: no cover - protocol stub
+
+    def compute(self, ctx: VertexContext, messages: list[Any]) -> None:
+        """One superstep of ``ctx.vertex`` given its inbound messages."""
+        ...  # pragma: no cover - protocol stub
+
+
+class PregelEngine:
+    """Run a :class:`VertexProgram` over a community graph to quiescence."""
+
+    def __init__(self, graph: CommunityGraph) -> None:
+        self.graph = graph
+        self._csr = CSRAdjacency.from_edgelist(graph.edges)
+        self.states: list[Any] = []
+        self.stats: list[SuperstepStats] = []
+        self._superstep = 0
+        self._outbox: list[list[Any]] = []
+        self._messages_this_step = 0
+
+    def run(
+        self, program: VertexProgram, *, max_supersteps: int = 200
+    ) -> list[Any]:
+        """Execute to quiescence; returns the final vertex states."""
+        n = self.graph.n_vertices
+        self.states = [program.init(v, self.graph) for v in range(n)]
+        self.stats = []
+        halted = np.zeros(n, dtype=bool)
+        inbox: list[list[Any]] = [[] for _ in range(n)]
+
+        for step in range(max_supersteps):
+            self._superstep = step
+            self._outbox = [[] for _ in range(n)]
+            self._messages_this_step = 0
+            active = 0
+            for v in range(n):
+                if halted[v] and not inbox[v]:
+                    continue
+                active += 1
+                ctx = VertexContext(self, v)
+                program.compute(ctx, inbox[v])
+                halted[v] = ctx.halted
+            self.stats.append(
+                SuperstepStats(
+                    superstep=step,
+                    active_vertices=active,
+                    messages_sent=self._messages_this_step,
+                )
+            )
+            inbox = self._outbox
+            if active == 0:
+                return self.states
+            if self._messages_this_step == 0 and all(halted):
+                return self.states
+        raise ConvergenceError(
+            f"vertex program did not quiesce in {max_supersteps} supersteps"
+        )
+
+    @property
+    def n_supersteps(self) -> int:
+        return len(self.stats)
+
+    def total_messages(self) -> int:
+        return sum(s.messages_sent for s in self.stats)

@@ -1,0 +1,176 @@
+"""Vertex programs: the algorithm's building blocks as message protocols.
+
+* :class:`ComponentsProgram` — minimum-label flooding; the classic
+  Pregel connected-components example and the substrate the paper's
+  preprocessing (largest component) needs.
+* :class:`LabelPropagationProgram` — weighted label propagation with
+  parity-staggered updates (avoids the synchronous two-cycle
+  oscillation), a cheap community detector.
+* :class:`MatchingProgram` — the paper's core primitive, locally
+  dominant heavy-edge matching, as a propose/accept protocol: each
+  round every free vertex proposes along its best live edge under the
+  symmetric total order ``(weight, min id, max id)``; mutual proposals
+  match, and matched vertices announce their retirement.  The global
+  best live edge always matches, so the protocol makes progress every
+  round and terminates with a maximal matching of weight within 1/2 of
+  optimum — the same guarantee as the array kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.graph.csr import CSRAdjacency
+from repro.graph.graph import CommunityGraph
+from repro.pregel.engine import VertexContext
+
+__all__ = [
+    "ComponentsProgram",
+    "LabelPropagationProgram",
+    "MatchingProgram",
+]
+
+
+class ComponentsProgram:
+    """Minimum-label flooding; final states are component labels."""
+
+    def init(self, vertex: int, graph: CommunityGraph) -> int:
+        return vertex
+
+    def compute(self, ctx: VertexContext, messages: list[int]) -> None:
+        if ctx.superstep == 0:
+            ctx.send_to_neighbors(ctx.state)
+            ctx.vote_to_halt()
+            return
+        best = min(messages) if messages else ctx.state
+        if best < ctx.state:
+            ctx.state = best
+            ctx.send_to_neighbors(best)
+        ctx.vote_to_halt()
+
+
+class LabelPropagationProgram:
+    """Weighted majority label adoption with parity-staggered updates.
+
+    State: ``{"label": int, "view": {neighbor: label}}``.  Messages are
+    ``(sender, label)`` pairs; edge weights come from the receiver's own
+    adjacency.  A vertex only recomputes on supersteps matching its
+    parity, which breaks the synchronous oscillation of e.g. a single
+    edge with two labels.
+    """
+
+    def __init__(self, graph: CommunityGraph) -> None:
+        # Per-vertex neighbor -> weight lookup, built once.
+        csr = CSRAdjacency.from_edgelist(graph.edges)
+        self._weights: list[dict[int, float]] = [
+            dict(
+                zip(
+                    csr.neighbors(v).tolist(),
+                    csr.neighbor_weights(v).tolist(),
+                )
+            )
+            for v in range(graph.n_vertices)
+        ]
+
+    def init(self, vertex: int, graph: CommunityGraph) -> dict[str, Any]:
+        return {"label": vertex, "view": {}}
+
+    def compute(
+        self, ctx: VertexContext, messages: list[tuple[int, int]]
+    ) -> None:
+        state = ctx.state
+        for sender, label in messages:
+            state["view"][sender] = label
+
+        if ctx.superstep == 0:
+            for u in ctx.neighbors().tolist():
+                ctx.send(u, (ctx.vertex, state["label"]))
+            ctx.vote_to_halt()
+            return
+
+        if (ctx.superstep + ctx.vertex) % 2 == 0 and state["view"]:
+            weights = self._weights[ctx.vertex]
+            totals: dict[int, float] = {}
+            for neighbor, label in state["view"].items():
+                totals[label] = totals.get(label, 0.0) + weights[neighbor]
+            # Highest total weight; ties toward the smallest label.
+            best = min(
+                totals, key=lambda lbl: (-totals[lbl], lbl)
+            )
+            if best != state["label"]:
+                state["label"] = best
+                for u in ctx.neighbors().tolist():
+                    ctx.send(u, (ctx.vertex, best))
+        ctx.vote_to_halt()
+
+
+def _edge_key(w: float, u: int, v: int) -> tuple[float, int, int]:
+    """Symmetric total order on edges: weight, then endpoint ids."""
+    return (w, min(u, v), max(u, v))
+
+
+class MatchingProgram:
+    """Locally dominant heavy-edge matching via propose/accept rounds.
+
+    Final state per vertex: ``{"status": "matched"|"free", "partner": int}``
+    (``partner`` is -1 for unmatched vertices).  Message kinds:
+    ``("propose", sender)`` and ``("retired", sender)``.
+    """
+
+    def init(self, vertex: int, graph: CommunityGraph) -> dict[str, Any]:
+        return {
+            "status": "free",
+            "partner": -1,
+            "dead": set(),
+            "target": -1,
+        }
+
+    def _best_live_neighbor(self, ctx: VertexContext) -> int:
+        state = ctx.state
+        best: int = -1
+        best_key: tuple[float, int, int] | None = None
+        for u, w in zip(
+            ctx.neighbors().tolist(), ctx.neighbor_weights().tolist()
+        ):
+            if u in state["dead"] or w <= 0:
+                continue
+            key = _edge_key(w, ctx.vertex, u)
+            if best_key is None or key > best_key:
+                best_key = key
+                best = u
+        return best
+
+    def compute(self, ctx: VertexContext, messages: list[tuple[str, int]]) -> None:
+        state = ctx.state
+        proposals = set()
+        for kind, sender in messages:
+            if kind == "retired":
+                state["dead"].add(sender)
+            elif kind == "propose":
+                proposals.add(sender)
+
+        if state["status"] == "matched":
+            ctx.vote_to_halt()
+            return
+
+        if ctx.superstep % 2 == 0:
+            # Propose phase.
+            target = self._best_live_neighbor(ctx)
+            state["target"] = target
+            if target < 0:
+                ctx.vote_to_halt()  # no live edges left: stays free
+                return
+            ctx.send(target, ("propose", ctx.vertex))
+        else:
+            # Accept phase: a mutual proposal seals the match.
+            target = state["target"]
+            if target >= 0 and target in proposals:
+                state["status"] = "matched"
+                state["partner"] = target
+                for u in ctx.neighbors().tolist():
+                    if u != target:
+                        ctx.send(u, ("retired", ctx.vertex))
+                ctx.vote_to_halt()
+        # Free vertices stay active for the next round.

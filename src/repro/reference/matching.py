@@ -1,0 +1,97 @@
+"""Reference locally-dominant matching.
+
+Plain-Python transcription of §IV-B's worklist algorithm: sweep the
+unmatched vertices, let each choose its best live edge under the same
+total order as :mod:`repro.core.matching` (score, then hashed edge
+priority), match mutual choices, repeat.  Output is bit-identical to the
+vectorized kernel; the property suite asserts so.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.matching import MatchingResult, _edge_priority
+from repro.graph.graph import CommunityGraph
+from repro.types import NO_VERTEX, VERTEX_DTYPE
+
+__all__ = ["locally_dominant_matching_ref"]
+
+
+def locally_dominant_matching_ref(
+    graph: CommunityGraph, scores: np.ndarray
+) -> MatchingResult:
+    """See module docstring; returns the same structure as the kernel."""
+    e = graph.edges
+    n = graph.n_vertices
+    if len(scores) != e.n_edges:
+        raise ValueError("scores length must equal edge count")
+
+    # Incident positive-scored edges per vertex.
+    incident: list[list[int]] = [[] for _ in range(n)]
+    for k in range(e.n_edges):
+        if scores[k] > 0:
+            incident[int(e.ei[k])].append(k)
+            incident[int(e.ej[k])].append(k)
+
+    prio = _edge_priority(np.arange(e.n_edges, dtype=np.int64))
+    partner = [NO_VERTEX] * n
+    matched_edges: list[int] = []
+    passes = 0
+    failed_claims = 0
+
+    def other(k: int, v: int) -> int:
+        a, b = int(e.ei[k]), int(e.ej[k])
+        return b if v == a else a
+
+    def live(k: int) -> bool:
+        return (
+            partner[int(e.ei[k])] == NO_VERTEX
+            and partner[int(e.ej[k])] == NO_VERTEX
+        )
+
+    while True:
+        # Each unmatched vertex picks its best live edge: max score, ties
+        # by minimum hashed priority.
+        choice: dict[int, int] = {}
+        for v in range(n):
+            if partner[v] != NO_VERTEX:
+                continue
+            best = -1
+            for k in incident[v]:
+                if not live(k):
+                    continue
+                if best < 0:
+                    best = k
+                    continue
+                if scores[k] > scores[best] or (
+                    scores[k] == scores[best] and prio[k] < prio[best]
+                ):
+                    best = k
+            if best >= 0:
+                choice[v] = best
+        if not choice:
+            break
+        passes += 1
+
+        new_pairs = 0
+        for v, k in choice.items():
+            u = other(k, v)
+            if choice.get(u) == k:
+                if partner[v] == NO_VERTEX and partner[u] == NO_VERTEX:
+                    partner[v] = u
+                    partner[u] = v
+                    matched_edges.append(k)
+                    new_pairs += 1
+            else:
+                failed_claims += 1
+        if new_pairs == 0:
+            raise AssertionError("reference matching failed to progress")
+
+    matched = np.array(sorted(matched_edges), dtype=np.int64)
+    return MatchingResult(
+        partner=np.array(partner, dtype=VERTEX_DTYPE),
+        matched_edges=matched,
+        passes=passes,
+        failed_claims=failed_claims,
+    )

@@ -1,0 +1,49 @@
+"""Reference metrics: one-edge-at-a-time modularity and coverage."""
+
+from __future__ import annotations
+
+from repro.graph.graph import CommunityGraph
+from repro.metrics.partition import Partition
+from repro.reference.scoring import _strengths
+
+__all__ = ["modularity_ref", "coverage_ref"]
+
+
+def modularity_ref(graph: CommunityGraph, partition: Partition) -> float:
+    """Q by direct summation over communities."""
+    if partition.n_vertices != graph.n_vertices:
+        raise ValueError("partition size does not match graph")
+    w_total = graph.total_weight()
+    if w_total == 0:
+        return 0.0
+    labels = partition.labels.tolist()
+    k = partition.n_communities
+    internal = [0.0] * k
+    volume = [0.0] * k
+    for v, s in enumerate(_strengths(graph)):
+        volume[labels[v]] += s
+        internal[labels[v]] += float(graph.self_weights[v])
+    e = graph.edges
+    for i, j, w in zip(e.ei.tolist(), e.ej.tolist(), e.w.tolist()):
+        if labels[i] == labels[j]:
+            internal[labels[i]] += w
+    return sum(
+        internal[c] / w_total - (volume[c] / (2.0 * w_total)) ** 2
+        for c in range(k)
+    )
+
+
+def coverage_ref(graph: CommunityGraph, partition: Partition) -> float:
+    """Coverage by direct summation."""
+    if partition.n_vertices != graph.n_vertices:
+        raise ValueError("partition size does not match graph")
+    w_total = graph.total_weight()
+    if w_total == 0:
+        return 1.0
+    labels = partition.labels.tolist()
+    internal = float(graph.self_weights.sum())
+    e = graph.edges
+    for i, j, w in zip(e.ei.tolist(), e.ej.tolist(), e.w.tolist()):
+        if labels[i] == labels[j]:
+            internal += w
+    return internal / w_total

@@ -1,0 +1,64 @@
+"""Reference edge scorers: literal transcriptions of the §III formulas."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import CommunityGraph
+
+__all__ = ["modularity_scores_ref", "conductance_scores_ref"]
+
+
+def _strengths(graph: CommunityGraph) -> list[float]:
+    s = [2.0 * float(w) for w in graph.self_weights]
+    for i, j, w in zip(
+        graph.edges.ei.tolist(), graph.edges.ej.tolist(), graph.edges.w.tolist()
+    ):
+        s[i] += w
+        s[j] += w
+    return s
+
+
+def modularity_scores_ref(graph: CommunityGraph) -> np.ndarray:
+    """ΔQ per edge, one edge at a time."""
+    w_total = graph.total_weight()
+    m = graph.n_edges
+    if w_total == 0:
+        return np.zeros(m)
+    vol = _strengths(graph)
+    out = np.empty(m)
+    for k in range(m):
+        i = int(graph.edges.ei[k])
+        j = int(graph.edges.ej[k])
+        w = float(graph.edges.w[k])
+        out[k] = w / w_total - vol[i] * vol[j] / (2.0 * w_total**2)
+    return out
+
+
+def conductance_scores_ref(graph: CommunityGraph) -> np.ndarray:
+    """Negated Δ(Σ conductance) per edge, one edge at a time."""
+    w_total = graph.total_weight()
+    m = graph.n_edges
+    if w_total == 0:
+        return np.zeros(m)
+    two_w = 2.0 * w_total
+    vol = _strengths(graph)
+    selfw = graph.self_weights.tolist()
+
+    def phi(cut: float, v: float) -> float:
+        denom = min(v, two_w - v)
+        return cut / denom if denom > 0 else 0.0
+
+    out = np.empty(m)
+    for k in range(m):
+        i = int(graph.edges.ei[k])
+        j = int(graph.edges.ej[k])
+        w = float(graph.edges.w[k])
+        cut_i = vol[i] - 2.0 * selfw[i]
+        cut_j = vol[j] - 2.0 * selfw[j]
+        merged_cut = cut_i + cut_j - 2.0 * w
+        merged_vol = vol[i] + vol[j]
+        out[k] = (
+            phi(cut_i, vol[i]) + phi(cut_j, vol[j]) - phi(merged_cut, merged_vol)
+        )
+    return out

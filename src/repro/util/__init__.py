@@ -1,0 +1,20 @@
+"""Small shared utilities: RNG handling, timing, validation, array helpers."""
+
+from repro.util.rng import as_generator, spawn_seeds
+from repro.util.timing import Timer
+from repro.util.validation import (
+    check_1d,
+    check_nonnegative,
+    check_positive,
+    check_same_length,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_seeds",
+    "Timer",
+    "check_1d",
+    "check_nonnegative",
+    "check_positive",
+    "check_same_length",
+]

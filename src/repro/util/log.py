@@ -1,0 +1,34 @@
+"""Library logging.
+
+One namespaced logger per module under the ``repro`` root; silent by
+default (NullHandler, standard library etiquette) and switched on by
+:func:`enable_console_logging` — used by the CLI's ``--verbose`` flag.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_ROOT = "repro"
+
+logging.getLogger(_ROOT).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The library logger, optionally namespaced (``repro.<name>``)."""
+    return logging.getLogger(f"{_ROOT}.{name}" if name else _ROOT)
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stderr handler to the library root; returns the handler
+    so callers (and tests) can detach it again."""
+    logger = logging.getLogger(_ROOT)
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

@@ -1,0 +1,46 @@
+"""Argument-validation helpers shared across the library.
+
+These raise ``ValueError``/``TypeError`` for caller mistakes (bad arguments)
+and are distinct from :class:`repro.errors.InvariantViolation`, which flags
+internal representation corruption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_1d",
+    "check_same_length",
+    "check_nonnegative",
+    "check_positive",
+]
+
+
+def check_1d(arr: np.ndarray, name: str) -> None:
+    """Require ``arr`` to be a one-dimensional ndarray."""
+    if not isinstance(arr, np.ndarray):
+        raise TypeError(f"{name} must be a numpy array, got {type(arr).__name__}")
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+
+
+def check_same_length(name_a: str, a: np.ndarray, name_b: str, b: np.ndarray) -> None:
+    """Require two arrays to have equal length."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same length "
+            f"({len(a)} != {len(b)})"
+        )
+
+
+def check_nonnegative(value: float, name: str) -> None:
+    """Require a scalar to be >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+def check_positive(value: float, name: str) -> None:
+    """Require a scalar to be > 0."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    complete_graph,
+    karate_club,
+    path_graph,
+    ring_of_cliques,
+    star_graph,
+    two_triangles,
+)
+from repro.graph import from_edges
+
+
+@pytest.fixture
+def karate():
+    return karate_club()
+
+
+@pytest.fixture
+def triangles():
+    return two_triangles()
+
+
+@pytest.fixture
+def cliques():
+    return ring_of_cliques(5, 4)
+
+
+@pytest.fixture
+def star():
+    return star_graph(10)
+
+
+@pytest.fixture
+def path():
+    return path_graph(8)
+
+
+@pytest.fixture
+def k5():
+    return complete_graph(5)
+
+
+@pytest.fixture
+def random_graph_factory():
+    """Factory producing small Erdős–Rényi-ish graphs with weights."""
+
+    def make(n=30, m=60, seed=0, weighted=True, n_vertices=None):
+        rng = np.random.default_rng(seed)
+        i = rng.integers(0, n, size=m)
+        j = rng.integers(0, n, size=m)
+        keep = i != j
+        w = rng.integers(1, 10, size=m).astype(float) if weighted else None
+        return from_edges(
+            i[keep],
+            j[keep],
+            w[keep] if w is not None else None,
+            n_vertices=n_vertices or n,
+        )
+
+    return make

@@ -1,0 +1,124 @@
+"""Unit tests for the community analysis toolkit."""
+
+import numpy as np
+import pytest
+
+from repro import TerminationCriteria, detect_communities, modularity
+from repro.analysis import (
+    best_modularity_level,
+    community_subgraph,
+    community_summary,
+    level_profile,
+    quotient_graph,
+)
+from repro.generators import ring_of_cliques, two_triangles
+from repro.graph import from_edges
+from repro.metrics import Partition, conductances, coverage
+
+
+@pytest.fixture
+def tri_partition():
+    return Partition(np.array([0, 0, 0, 1, 1, 1]))
+
+
+class TestCommunitySummary:
+    def test_two_triangles(self, triangles, tri_partition):
+        stats = community_summary(triangles, tri_partition)
+        np.testing.assert_array_equal(stats.sizes, [3, 3])
+        np.testing.assert_allclose(stats.internal_weight, [3.0, 3.0])
+        np.testing.assert_allclose(stats.cut_weight, [1.0, 1.0])
+        np.testing.assert_allclose(stats.volume, [7.0, 7.0])
+        np.testing.assert_allclose(stats.internal_density, [1.0, 1.0])
+        np.testing.assert_allclose(stats.conductance, [1 / 7, 1 / 7])
+
+    def test_matches_scalar_metrics(self, karate):
+        res = detect_communities(karate)
+        stats = community_summary(karate, res.partition)
+        # Aggregates must agree with the scalar metrics.
+        total = karate.total_weight()
+        assert stats.internal_weight.sum() / total == pytest.approx(
+            coverage(karate, res.partition)
+        )
+        np.testing.assert_allclose(
+            stats.conductance, conductances(karate, res.partition)
+        )
+        assert stats.volume.sum() == pytest.approx(2 * total)
+
+    def test_singleton_density_zero(self):
+        g = from_edges(np.array([0]), np.array([1]), n_vertices=3)
+        stats = community_summary(g, Partition(np.array([0, 0, 1])))
+        assert stats.internal_density[1] == 0.0
+
+    def test_as_rows_sorted_by_size(self, karate):
+        res = detect_communities(karate)
+        stats = community_summary(karate, res.partition)
+        rows = stats.as_rows()
+        sizes = [r[1] for r in rows]
+        assert sizes == sorted(sizes, reverse=True)
+        top = stats.as_rows(top=2)
+        assert len(top) == 2
+
+    def test_size_mismatch(self, karate):
+        with pytest.raises(ValueError):
+            community_summary(karate, Partition.singletons(2))
+
+
+class TestExtraction:
+    def test_community_subgraph(self, triangles, tri_partition):
+        sub, ids = community_subgraph(triangles, tri_partition, 0)
+        assert sub.n_vertices == 3
+        assert sub.n_edges == 3  # the triangle, bridge dropped
+        np.testing.assert_array_equal(ids, [0, 1, 2])
+
+    def test_subgraph_size_mismatch(self, karate):
+        with pytest.raises(ValueError):
+            community_subgraph(karate, Partition.singletons(3), 0)
+
+    def test_quotient_graph(self, triangles, tri_partition):
+        q = quotient_graph(triangles, tri_partition)
+        assert q.n_vertices == 2
+        assert q.n_edges == 1
+        assert q.edges.w[0] == 1.0
+        np.testing.assert_allclose(q.self_weights, [3.0, 3.0])
+        assert q.total_weight() == pytest.approx(triangles.total_weight())
+
+    def test_quotient_coverage_identity(self, karate):
+        res = detect_communities(karate)
+        q = quotient_graph(karate, res.partition)
+        assert q.coverage() == pytest.approx(coverage(karate, res.partition))
+
+
+class TestLevels:
+    def test_profile_spans_all_levels(self, karate):
+        res = detect_communities(
+            karate, termination=TerminationCriteria.local_maximum()
+        )
+        profile = level_profile(karate, res.dendrogram)
+        assert len(profile) == res.n_levels + 1
+        assert profile[0][1] == 34  # singletons
+        assert profile[-1][1] == res.n_communities
+
+    def test_best_level_at_least_final(self, karate):
+        res = detect_communities(
+            karate, termination=TerminationCriteria.local_maximum()
+        )
+        level, part = best_modularity_level(karate, res.dendrogram)
+        assert modularity(karate, part) >= modularity(
+            karate, res.partition
+        ) - 1e-12
+
+    def test_best_level_fixes_overshoot(self):
+        """Run far past the modularity peak with weight scoring; the
+        selector must recover a better intermediate level."""
+        from repro.core import WeightScorer
+
+        g = ring_of_cliques(6, 4)
+        res = detect_communities(
+            g,
+            WeightScorer(),  # keeps merging as long as any edge remains
+            termination=TerminationCriteria(coverage=None, min_communities=1),
+        )
+        q_final = modularity(g, res.partition)
+        level, part = best_modularity_level(g, res.dendrogram)
+        assert modularity(g, part) > q_final
+        assert level < res.n_levels

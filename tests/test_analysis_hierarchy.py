@@ -1,0 +1,76 @@
+"""Unit tests for hierarchical recursive detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.hierarchy import HierarchyNode, hierarchical_communities
+from repro.core import TerminationCriteria
+from repro.generators import planted_partition_graph, ring_of_cliques
+from repro.graph import from_edges
+
+
+class TestHierarchy:
+    def test_leaves_partition_vertices(self):
+        g = ring_of_cliques(8, 6)
+        root = hierarchical_communities(g, max_size=12)
+        leaf_vertices = np.concatenate(
+            [leaf.vertices for leaf in root.leaves()]
+        )
+        assert sorted(leaf_vertices.tolist()) == list(range(g.n_vertices))
+
+    def test_max_size_respected_or_indivisible(self):
+        g = ring_of_cliques(8, 6)
+        root = hierarchical_communities(g, max_size=12)
+        for leaf in root.leaves():
+            # A leaf is either small enough or could not be split further.
+            assert leaf.size <= 12 or leaf.is_leaf
+
+    def test_flat_partition_valid(self):
+        g = planted_partition_graph(600, seed=2)
+        root = hierarchical_communities(g, max_size=50)
+        p = root.flat_partition(g.n_vertices)
+        assert p.n_vertices == g.n_vertices
+        assert p.n_communities == len(root.leaves())
+
+    def test_depth_limit(self):
+        g = planted_partition_graph(500, seed=3)
+        root = hierarchical_communities(g, max_size=2, max_depth=1)
+        assert root.max_depth() <= 1
+
+    def test_small_graph_single_leaf(self):
+        g = from_edges(np.array([0]), np.array([1]))
+        root = hierarchical_communities(g, max_size=10)
+        assert root.is_leaf
+        assert root.size == 2
+
+    def test_indivisible_stays_leaf(self):
+        # A clique run to the all-in-one local maximum is indivisible.
+        from repro.generators import complete_graph
+
+        g = complete_graph(6)
+        root = hierarchical_communities(
+            g,
+            max_size=2,
+            termination=TerminationCriteria(
+                coverage=None, min_communities=1
+            ),
+        )
+        # Either split somehow or remained one leaf — never lost vertices.
+        assert sum(l.size for l in root.leaves()) == 6
+
+    def test_validation(self, karate):
+        with pytest.raises(ValueError):
+            hierarchical_communities(karate, max_size=0)
+        with pytest.raises(ValueError):
+            hierarchical_communities(karate, max_size=5, max_depth=-1)
+
+    def test_deeper_levels_refine(self):
+        g = planted_partition_graph(800, seed=5)
+        coarse = hierarchical_communities(g, max_size=400, max_depth=1)
+        fine = hierarchical_communities(g, max_size=30, max_depth=4)
+        assert len(fine.leaves()) >= len(coarse.leaves())
+
+    def test_flat_partition_incomplete_raises(self):
+        node = HierarchyNode(vertices=np.array([0, 1]), depth=0)
+        with pytest.raises(ValueError):
+            node.flat_partition(4)

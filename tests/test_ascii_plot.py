@@ -1,0 +1,65 @@
+"""Unit tests for the text-mode figure renderer."""
+
+import pytest
+
+from repro.bench import ascii_xy_plot, plot_scaling_results
+from repro.bench.harness import ScalingResult
+from repro.platform import INTEL_X5570
+
+
+class TestAsciiXYPlot:
+    def test_basic_render(self):
+        out = ascii_xy_plot(
+            {"a": [(1, 1), (10, 10)], "b": [(1, 10), (10, 1)]},
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "o a" in lines[-1] and "x b" in lines[-1]
+        assert any("o" in ln for ln in lines[1:-1])
+        assert any("x" in ln for ln in lines[1:-1])
+
+    def test_log_ticks_present(self):
+        out = ascii_xy_plot({"s": [(1, 1), (100, 1000)]})
+        assert "100" in out
+        assert "1000" in out or "10" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_xy_plot({})
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            ascii_xy_plot({"s": [(0, 1)]})
+
+    def test_single_point(self):
+        out = ascii_xy_plot({"s": [(2, 3)]})
+        assert "o" in out
+
+    def test_dimensions(self):
+        out = ascii_xy_plot(
+            {"s": [(1, 1), (8, 8)]}, width=30, height=8, title="t"
+        )
+        # title + height rows + axis + tick line + legend
+        assert len(out.splitlines()) == 1 + 8 + 1 + 1 + 1
+
+    def test_axis_labels_in_legend(self):
+        out = ascii_xy_plot(
+            {"s": [(1, 1)]}, xlabel="threads", ylabel="sec"
+        )
+        assert "threads" in out and "sec" in out
+
+
+class TestPlotScalingResults:
+    def test_time_and_speedup_modes(self):
+        sr = ScalingResult(
+            machine=INTEL_X5570,
+            graph_name="g",
+            n_edges=100,
+            times={1: [4.0, 4.1, 4.2], 2: [2.0, 2.1, 2.2], 4: [1.0, 1.1, 1.2]},
+        )
+        t = plot_scaling_results({"X5570": sr}, title="times")
+        s = plot_scaling_results({"X5570": sr}, speedup=True, title="su")
+        assert "times" in t
+        assert "speed-up" in s
+        assert "X5570" in t

@@ -1,0 +1,138 @@
+"""Unit tests for the sequential baselines (CNM, Louvain, label propagation)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    cnm_communities,
+    label_propagation_communities,
+    louvain_communities,
+)
+from repro.generators import ring_of_cliques, two_triangles
+from repro.graph import from_edges
+from repro.metrics import Partition, modularity
+
+
+class TestCNM:
+    def test_two_triangles_optimal(self):
+        g = two_triangles()
+        part, q = cnm_communities(g)
+        assert part.n_communities == 2
+        assert q == pytest.approx(5 / 14)
+        assert part.same_clustering(
+            Partition(np.array([0, 0, 0, 1, 1, 1]))
+        )
+
+    def test_reported_q_matches_metric(self, karate):
+        part, q = cnm_communities(karate)
+        assert q == pytest.approx(modularity(karate, part))
+
+    def test_karate_quality(self, karate):
+        part, q = cnm_communities(karate)
+        # CNM's published karate modularity is ~0.38.
+        assert q > 0.35
+
+    def test_ring_of_cliques(self):
+        g = ring_of_cliques(5, 4)
+        part, q = cnm_communities(g)
+        assert part.n_communities == 5
+
+    def test_min_communities(self, karate):
+        part, q = cnm_communities(karate, min_communities=10)
+        assert part.n_communities >= 10
+
+    def test_empty(self):
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=0)
+        part, q = cnm_communities(g)
+        assert part.n_vertices == 0
+
+    def test_no_edges(self):
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=3)
+        part, q = cnm_communities(g)
+        assert part.n_communities == 3
+        assert q == 0.0
+
+    def test_weighted(self):
+        # Heavy edge should merge first and stay internal.
+        g = from_edges(np.array([0, 1]), np.array([1, 2]), np.array([10.0, 1.0]))
+        part, q = cnm_communities(g)
+        assert part.labels[0] == part.labels[1]
+
+
+class TestLouvain:
+    def test_two_triangles(self):
+        g = two_triangles()
+        part, q = louvain_communities(g, seed=0)
+        assert part.n_communities == 2
+        assert q == pytest.approx(5 / 14)
+
+    def test_karate_quality(self, karate):
+        part, q = louvain_communities(karate, seed=0)
+        assert q > 0.38  # Louvain typically reaches ~0.40-0.42
+
+    def test_ring_of_cliques_exact(self):
+        g = ring_of_cliques(6, 5)
+        part, q = louvain_communities(g, seed=1)
+        assert part.n_communities == 6
+
+    def test_reported_q_matches_metric(self, karate):
+        part, q = louvain_communities(karate, seed=3)
+        assert q == pytest.approx(modularity(karate, part))
+
+    def test_deterministic_given_seed(self, karate):
+        a, qa = louvain_communities(karate, seed=5)
+        b, qb = louvain_communities(karate, seed=5)
+        assert a == b and qa == qb
+
+    def test_no_edges(self):
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=4)
+        part, q = louvain_communities(g)
+        assert part.n_communities == 4
+
+
+class TestLabelPropagation:
+    def test_ring_of_cliques(self):
+        g = ring_of_cliques(5, 5)
+        part = label_propagation_communities(g, seed=0)
+        # LP should find roughly the cliques (it may merge neighbors).
+        assert 2 <= part.n_communities <= 10
+
+    def test_clique_members_together(self):
+        g = ring_of_cliques(4, 6)
+        part = label_propagation_communities(g, seed=1)
+        labels = part.labels
+        for c in range(4):
+            block = labels[c * 6 : (c + 1) * 6]
+            assert len(set(block.tolist())) == 1
+
+    def test_no_edges_all_singletons(self):
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=5)
+        part = label_propagation_communities(g)
+        assert part.n_communities == 5
+
+    def test_deterministic_given_seed(self, karate):
+        a = label_propagation_communities(karate, seed=2)
+        b = label_propagation_communities(karate, seed=2)
+        assert a == b
+
+    def test_empty(self):
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=0)
+        part = label_propagation_communities(g)
+        assert part.n_vertices == 0
+
+
+class TestCrossValidation:
+    def test_parallel_algorithm_comparable_to_baselines(self, karate):
+        """The paper's §V sanity check: modularities 'appear reasonable
+        compared with a different, sequential implementation'."""
+        from repro import TerminationCriteria, detect_communities
+
+        res = detect_communities(
+            karate, termination=TerminationCriteria.local_maximum()
+        )
+        q_par = modularity(karate, res.partition)
+        _, q_cnm = cnm_communities(karate)
+        _, q_louvain = louvain_communities(karate, seed=0)
+        # Parallel agglomeration gives up some quality for parallelism,
+        # but must stay in the same regime.
+        assert q_par > 0.6 * max(q_cnm, q_louvain)

@@ -1,0 +1,150 @@
+"""Unit tests for the benchmark harness (datasets, sweeps, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    DATASETS,
+    ScalingResult,
+    format_scaling,
+    format_table,
+    format_table1,
+    format_table2,
+    format_table3,
+    load_dataset,
+    peak_rate,
+    run_with_trace,
+    scaling_experiment,
+)
+from repro.generators import ring_of_cliques
+from repro.platform import CRAY_XMT2, INTEL_X5570
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    g = ring_of_cliques(30, 6)
+    return run_with_trace(g, graph_name="cliques")
+
+
+class TestDatasets:
+    def test_registry_matches_table2(self):
+        assert set(DATASETS) == {"rmat-24-16", "soc-LiveJournal1", "uk-2007-05"}
+        assert DATASETS["uk-2007-05"].paper_edges == 3_301_876_564
+        assert DATASETS["soc-LiveJournal1"].paper_vertices == 4_847_571
+
+    def test_load_small_scale(self):
+        g = load_dataset("soc-LiveJournal1", scale=0.2, seed=0)
+        assert g.n_vertices == 300
+        g.validate()
+
+    def test_relative_sizes_preserved(self):
+        # uk > rmat > soc-LJ by edge count, as in the paper.
+        sizes = {
+            name: load_dataset(name, scale=0.25, seed=0).n_edges
+            for name in DATASETS
+        }
+        assert sizes["uk-2007-05"] > sizes["rmat-24-16"] > sizes["soc-LiveJournal1"]
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("facebook")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("rmat-24-16", scale=0.0)
+
+
+class TestHarness:
+    def test_run_with_trace(self, small_run):
+        assert small_run.result.n_levels >= 1
+        assert len(small_run.recorder.records) > 0
+        assert small_run.n_edges > 0
+
+    def test_scaling_experiment(self, small_run):
+        sweeps = scaling_experiment(
+            small_run, [INTEL_X5570, CRAY_XMT2], parallelism=[1, 2, 8], seed=0
+        )
+        assert set(sweeps) == {"X5570", "XMT2"}
+        sr = sweeps["X5570"]
+        assert set(sr.times) == {1, 2, 8}
+        assert all(len(ts) == 3 for ts in sr.times.values())
+
+    def test_parallelism_clamped_to_platform(self, small_run):
+        sweeps = scaling_experiment(
+            small_run, [INTEL_X5570], parallelism=[1, 8, 999], seed=0
+        )
+        assert max(sweeps["X5570"].times) <= 16
+
+    def test_parallelism_one_added(self, small_run):
+        sweeps = scaling_experiment(
+            small_run, [INTEL_X5570], parallelism=[4], seed=0
+        )
+        assert 1 in sweeps["X5570"].times
+
+    def test_scaling_result_stats(self, small_run):
+        sweeps = scaling_experiment(
+            small_run, [INTEL_X5570], parallelism=[1, 2, 4, 8, 16], seed=0
+        )
+        sr = sweeps["X5570"]
+        assert sr.best_time() <= sr.best_single_unit_time()
+        assert sr.best_speedup() >= 1.0
+        assert sr.best_parallelism() in sr.times
+        su = sr.speedups()
+        assert su[1] == pytest.approx(
+            sr.best_single_unit_time() / float(np.median(sr.times[1]))
+        )
+
+    def test_peak_rate(self, small_run):
+        sweeps = scaling_experiment(
+            small_run, [INTEL_X5570], parallelism=[1, 8], seed=0
+        )
+        rate = peak_rate(sweeps["X5570"])
+        assert rate == pytest.approx(
+            small_run.n_edges / sweeps["X5570"].best_time()
+        )
+
+    def test_missing_single_unit(self, small_run):
+        sr = ScalingResult(
+            machine=INTEL_X5570,
+            graph_name="x",
+            n_edges=10,
+            times={2: [1.0]},
+        )
+        with pytest.raises(ValueError):
+            sr.best_single_unit_time()
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+
+    def test_table1_contains_all_platforms(self):
+        out = format_table1()
+        for name in ("XMT", "XMT2", "E7-8870", "X5650", "X5570"):
+            assert name in out
+        assert "500MHz" in out and "2.40GHz" in out
+
+    def test_table2_contains_paper_sizes(self):
+        out = format_table2({"rmat-24-16": (100, 200)})
+        assert "105,896,555" in out  # uk vertices
+        assert "100" in out
+
+    def test_table3_format(self, small_run):
+        sweeps = scaling_experiment(
+            small_run, [INTEL_X5570], parallelism=[1, 4], seed=0
+        )
+        out = format_table3({"rmat-24-16": sweeps})
+        assert "X5570" in out
+        assert "e6" in out
+
+    def test_format_scaling_time_and_speedup(self, small_run):
+        sweeps = scaling_experiment(
+            small_run, [CRAY_XMT2], parallelism=[1, 4], seed=0
+        )
+        t = format_scaling(sweeps["XMT2"])
+        s = format_scaling(sweeps["XMT2"], speedup=True)
+        assert "processors" in t
+        assert "speed-up" in s

@@ -1,0 +1,59 @@
+"""Unit tests for the per-figure experiment definitions (tiny scale)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    ALL_PLATFORMS,
+    FIG12_GRAPHS,
+    figure1,
+    figure2,
+    figure3,
+    table3,
+)
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return figure1(scale=0.25, seed=2)
+
+
+class TestFigure1:
+    def test_covers_graphs_and_platforms(self, fig1):
+        assert set(fig1.sweeps) == set(FIG12_GRAPHS)
+        for g in FIG12_GRAPHS:
+            assert set(fig1.sweeps[g]) == {m.name for m in ALL_PLATFORMS}
+
+    def test_three_runs_per_point(self, fig1):
+        sr = fig1.sweeps["rmat-24-16"]["E7-8870"]
+        assert all(len(ts) == 3 for ts in sr.times.values())
+        assert 1 in sr.times
+        assert 80 in sr.times
+
+    def test_runs_attached(self, fig1):
+        assert set(fig1.runs) == set(FIG12_GRAPHS)
+        for run in fig1.runs.values():
+            assert run.result.n_levels >= 1
+
+    def test_figure2_same_shape(self):
+        data = figure2(scale=0.25, seed=2)
+        assert set(data.sweeps) == set(FIG12_GRAPHS)
+
+
+class TestFigure3:
+    def test_uk_two_platforms(self):
+        data = figure3(scale=0.125, seed=2)
+        sweeps = data.sweeps["uk-2007-05"]
+        assert set(sweeps) == {"E7-8870", "XMT2"}
+        assert sweeps["XMT2"].machine.max_parallelism == 64
+
+
+class TestTable3:
+    def test_all_cells_present(self):
+        results = table3(scale=0.125, seed=2)
+        assert set(results) == {
+            "rmat-24-16",
+            "soc-LiveJournal1",
+            "uk-2007-05",
+        }
+        for sweeps in results.values():
+            assert len(sweeps) >= 2

@@ -1,0 +1,164 @@
+"""Unit tests for graph contraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ModularityScorer,
+    WeightScorer,
+    contract,
+    contract_hash_chains,
+    match_locally_dominant,
+)
+from repro.graph import from_edges
+from repro.platform import TraceRecorder
+
+
+def run_matching(g, scorer=None):
+    scorer = scorer or WeightScorer()
+    return match_locally_dominant(g, scorer.score(g))
+
+
+class TestContract:
+    def test_single_edge_collapses_to_self_weight(self):
+        g = from_edges(np.array([0]), np.array([1]), np.array([3.0]))
+        m = run_matching(g)
+        new, mapping = contract(g, m)
+        assert new.n_vertices == 1
+        assert new.n_edges == 0
+        assert new.self_weights[0] == 3.0
+        np.testing.assert_array_equal(mapping, [0, 0])
+
+    def test_total_weight_invariant(self, karate):
+        m = run_matching(karate, ModularityScorer())
+        new, _ = contract(karate, m)
+        assert new.total_weight() == pytest.approx(karate.total_weight())
+
+    def test_vertex_count_shrinks_by_pairs(self, karate):
+        m = run_matching(karate, ModularityScorer())
+        new, _ = contract(karate, m)
+        assert new.n_vertices == karate.n_vertices - m.n_pairs
+
+    def test_mapping_dense_and_consistent(self, karate):
+        m = run_matching(karate, ModularityScorer())
+        new, mapping = contract(karate, m)
+        assert mapping.min() == 0
+        assert mapping.max() == new.n_vertices - 1
+        # Matched pairs map together; unmatched alone.
+        from repro.types import NO_VERTEX
+
+        for v in range(karate.n_vertices):
+            p = m.partner[v]
+            if p != NO_VERTEX:
+                assert mapping[v] == mapping[p]
+
+    def test_parallel_edges_accumulate(self):
+        # Square 0-1-2-3: match {0,1} and {2,3}; the two cross edges
+        # (1,2) and (0,3) merge into one weight-2 edge.
+        g = from_edges(
+            np.array([0, 1, 2, 0]), np.array([1, 2, 3, 3]),
+            np.array([5.0, 1.0, 5.0, 1.0]),
+        )
+        m = run_matching(g)
+        assert m.n_pairs == 2
+        new, _ = contract(g, m)
+        assert new.n_vertices == 2
+        assert new.n_edges == 1
+        assert new.edges.w[0] == 2.0
+
+    def test_output_validates(self, random_graph_factory):
+        for seed in range(4):
+            g = random_graph_factory(n=40, m=150, seed=seed)
+            m = run_matching(g)
+            new, _ = contract(g, m)
+            new.validate()
+
+    def test_empty_matching_still_compacts(self):
+        g = from_edges(np.array([0]), np.array([1]))
+        m = run_matching(g)
+        # Make all scores negative: nothing matches.
+        res = match_locally_dominant(g, np.array([-1.0]))
+        new, mapping = contract(g, res)
+        assert new.n_vertices == 2
+        assert new.n_edges == 1
+
+    def test_self_weights_carried_through(self):
+        g = from_edges(np.array([0, 1, 1]), np.array([1, 2, 1]))  # loop at 1
+        m = run_matching(g)
+        new, mapping = contract(g, m)
+        assert new.total_weight() == pytest.approx(g.total_weight())
+        assert new.self_weights.sum() >= g.self_weights.sum()
+
+    def test_recorder_kernels(self, karate):
+        m = run_matching(karate, ModularityScorer())
+        rec = TraceRecorder()
+        contract(karate, m, rec)
+        names = {r.name for r in rec.records}
+        assert names == {
+            "contract_relabel",
+            "contract_bucket",
+            "contract_sort",
+            "contract_copy",
+        }
+
+    def test_wrong_matching_size_rejected(self, karate, triangles):
+        m = run_matching(triangles)
+        with pytest.raises(ValueError):
+            contract(karate, m)
+
+
+class TestHashChainEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_identical_output(self, random_graph_factory, seed):
+        g = random_graph_factory(n=30, m=100, seed=seed)
+        m = run_matching(g)
+        a, map_a = contract(g, m)
+        b, map_b = contract_hash_chains(g, m)
+        np.testing.assert_array_equal(map_a, map_b)
+        np.testing.assert_array_equal(a.edges.ei, b.edges.ei)
+        np.testing.assert_array_equal(a.edges.ej, b.edges.ej)
+        np.testing.assert_array_equal(a.edges.w, b.edges.w)
+        np.testing.assert_array_equal(a.self_weights, b.self_weights)
+
+    def test_chain_ops_recorded(self, karate):
+        m = run_matching(karate, ModularityScorer())
+        rec = TraceRecorder()
+        contract_hash_chains(karate, m, rec)
+        chase = rec.by_name("contract_chase")
+        assert len(chase) == 1
+        # Every edge walks at least its own terminal node.
+        assert chase[0].chain_ops >= karate.n_edges - m.n_pairs
+
+    def test_bucket_method_has_no_chains(self, karate):
+        m = run_matching(karate, ModularityScorer())
+        rec = TraceRecorder()
+        contract(karate, m, rec)
+        assert all(r.chain_ops == 0 for r in rec.records)
+
+
+class TestChainWalkModel:
+    def test_distinct_keys_one_chain(self):
+        from repro.core.contraction import _chain_walk_lengths
+
+        # 3 distinct keys all hashing to one chain: walks 1 + 2 + 3.
+        keys = np.array([0, 7, 14], dtype=np.int64)
+        assert _chain_walk_lengths(keys, 7) == 1 + 2 + 3
+
+    def test_duplicate_keys_accumulate_in_place(self):
+        from repro.core.contraction import _chain_walk_lengths
+
+        # Same key twice: second insertion finds it after 1 distinct walk.
+        keys = np.array([3, 3], dtype=np.int64)
+        assert _chain_walk_lengths(keys, 8) == 1 + 1
+
+    def test_spread_keys_short_chains(self):
+        from repro.core.contraction import _chain_walk_lengths
+
+        keys = np.arange(100, dtype=np.int64)
+        # Perfect hashing: every walk is a single terminal inspection.
+        assert _chain_walk_lengths(keys, 128) == 100
+
+    def test_empty(self):
+        from repro.core.contraction import _chain_walk_lengths
+
+        assert _chain_walk_lengths(np.empty(0, dtype=np.int64), 8) == 0

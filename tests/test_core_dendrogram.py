@@ -1,0 +1,66 @@
+"""Unit tests for the merge dendrogram."""
+
+import numpy as np
+import pytest
+
+from repro import TerminationCriteria, detect_communities
+from repro.core import Dendrogram
+
+
+class TestDendrogram:
+    def test_empty(self):
+        d = Dendrogram(5)
+        assert d.n_levels == 0
+        np.testing.assert_array_equal(d.labels_at(0), np.arange(5))
+        assert d.communities_at(0) == 5
+
+    def test_push_and_compose(self):
+        d = Dendrogram(4)
+        d.push(np.array([0, 0, 1, 1]))  # 4 -> 2
+        d.push(np.array([0, 0]))  # 2 -> 1
+        assert d.n_levels == 2
+        np.testing.assert_array_equal(d.labels_at(1), [0, 0, 1, 1])
+        np.testing.assert_array_equal(d.labels_at(2), [0, 0, 0, 0])
+        assert d.communities_at(2) == 1
+
+    def test_wrong_length_rejected(self):
+        d = Dendrogram(4)
+        with pytest.raises(ValueError, match="covers"):
+            d.push(np.array([0, 0, 1]))
+
+    def test_non_shrinking_rejected(self):
+        d = Dendrogram(2)
+        with pytest.raises(ValueError, match="shrink"):
+            d.push(np.array([0, 2]))
+
+    def test_level_out_of_range(self):
+        d = Dendrogram(3)
+        with pytest.raises(IndexError):
+            d.labels_at(1)
+        with pytest.raises(IndexError):
+            d.communities_at(-1)
+
+    def test_partition_at(self):
+        d = Dendrogram(3)
+        d.push(np.array([0, 1, 0]))
+        p = d.partition_at(1)
+        assert p.n_communities == 2
+
+    def test_from_driver_levels_consistent(self, karate):
+        res = detect_communities(
+            karate, termination=TerminationCriteria.local_maximum()
+        )
+        d = res.dendrogram
+        assert d.n_levels == res.n_levels
+        # Community counts along the dendrogram match the level stats.
+        for k, stats in enumerate(res.levels):
+            assert d.communities_at(k) == stats.n_vertices
+        assert d.final_partition() == res.partition
+
+    def test_intermediate_partitions_valid(self, cliques):
+        res = detect_communities(
+            cliques, termination=TerminationCriteria.local_maximum()
+        )
+        for lvl in range(res.n_levels + 1):
+            p = res.dendrogram.partition_at(lvl)
+            assert p.n_vertices == cliques.n_vertices

@@ -1,0 +1,54 @@
+"""Unit tests for the §IV memory accounting."""
+
+import pytest
+
+from repro.core.memory import MemoryEstimate, algorithm_memory_words
+
+
+class TestFormulas:
+    def test_graph_formula_matches_representation(self, karate):
+        est = algorithm_memory_words(34, 78)
+        assert est.graph == karate.memory_words()
+
+    def test_scoring_matching_formula(self):
+        est = algorithm_memory_words(100, 500)
+        assert est.scoring_matching == 500 + 4 * 100
+
+    def test_openmp_locks(self):
+        omp = algorithm_memory_words(100, 500, openmp=True)
+        xmt = algorithm_memory_words(100, 500, openmp=False)
+        assert omp.locks == 100
+        assert xmt.locks == 0
+        assert omp.total == xmt.total + 100
+
+    def test_contraction_scratch(self):
+        est = algorithm_memory_words(100, 500)
+        assert est.contraction_scratch == 100 + 1 + 2 * 500
+        assert est.contraction_scratch_legacy == 500 + 100
+
+    def test_legacy_flag(self):
+        legacy = algorithm_memory_words(100, 500, legacy_contraction=True)
+        assert legacy.contraction_scratch == legacy.contraction_scratch_legacy
+
+    def test_new_method_needs_more_scratch(self):
+        # §IV-C: "This requires |V|+1+2|E| storage, more than our original."
+        est = algorithm_memory_words(1000, 5000)
+        assert est.contraction_scratch > est.contraction_scratch_legacy
+
+    def test_bytes(self):
+        est = algorithm_memory_words(10, 20)
+        assert est.bytes() == 8 * est.total
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            algorithm_memory_words(-1, 5)
+
+    def test_uk_2007_05_sizing(self):
+        """The paper's uk-2007-05 (105.9M / 3.3G edges) at 64-bit words
+        consumes well over half of the E7 box's 256 GiB by this
+        accounting alone — hence §V-C's switch to 32-bit vertex labels
+        on the Intel platform (halving it leaves comfortable headroom)."""
+        est = algorithm_memory_words(105_896_555, 3_301_876_564)
+        gib = est.bytes() / 2**30
+        assert gib > 128
+        assert gib / 2 < 0.5 * 256

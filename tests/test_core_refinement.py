@@ -1,0 +1,67 @@
+"""Unit tests for local vertex-move refinement."""
+
+import numpy as np
+import pytest
+
+from repro import detect_communities, modularity, refine_partition
+from repro.generators import ring_of_cliques
+from repro.graph import from_edges
+from repro.metrics import Partition
+
+
+class TestRefinement:
+    def test_never_decreases_modularity(self, karate):
+        res = detect_communities(karate)
+        q0 = modularity(karate, res.partition)
+        refined, moves = refine_partition(karate, res.partition)
+        q1 = modularity(karate, refined)
+        assert q1 >= q0 - 1e-12
+
+    def test_fixes_a_misassigned_vertex(self):
+        g = ring_of_cliques(3, 5)
+        labels = np.repeat(np.arange(3), 5)
+        labels[0] = 1  # misassign one clique member
+        p = Partition.from_labels(labels)
+        refined, moves = refine_partition(g, p)
+        assert moves >= 1
+        # Vertex 0 should return to its clique.
+        assert refined.labels[0] == refined.labels[1]
+
+    def test_stable_partition_untouched(self):
+        g = ring_of_cliques(4, 5)
+        p = Partition.from_labels(np.repeat(np.arange(4), 5))
+        refined, moves = refine_partition(g, p)
+        assert moves == 0
+        assert refined is p
+
+    def test_zero_sweeps(self, karate):
+        p = Partition.singletons(34)
+        refined, moves = refine_partition(karate, p, max_sweeps=0)
+        assert moves == 0
+
+    def test_negative_sweeps_rejected(self, karate):
+        with pytest.raises(ValueError):
+            refine_partition(karate, Partition.singletons(34), max_sweeps=-1)
+
+    def test_size_mismatch(self, karate):
+        with pytest.raises(ValueError):
+            refine_partition(karate, Partition.singletons(3))
+
+    def test_empty_graph(self):
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=2)
+        p = Partition.singletons(2)
+        refined, moves = refine_partition(g, p)
+        assert moves == 0
+
+    def test_labels_stay_dense(self, karate):
+        res = detect_communities(karate)
+        refined, _ = refine_partition(karate, res.partition)
+        k = refined.n_communities
+        assert set(np.unique(refined.labels)) == set(range(k))
+
+    def test_converges_before_sweep_budget(self, karate):
+        res = detect_communities(karate)
+        a, _ = refine_partition(karate, res.partition, max_sweeps=50)
+        b, _ = refine_partition(karate, a, max_sweeps=50)
+        # Idempotent at the fixed point.
+        assert a == b or modularity(karate, b) >= modularity(karate, a)

@@ -1,0 +1,109 @@
+"""Unit tests for edge scorers, including the exactness invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConductanceScorer,
+    ModularityScorer,
+    WeightScorer,
+    contract,
+    match_locally_dominant,
+)
+from repro.graph import from_edges
+from repro.metrics import (
+    Partition,
+    average_conductance,
+    community_graph_modularity,
+    conductances,
+    modularity,
+)
+from repro.platform import TraceRecorder
+
+
+class TestModularityScorer:
+    def test_two_triangles_bridge_scored_lowest(self, triangles):
+        scores = ModularityScorer().score(triangles)
+        e = triangles.edges
+        bridge = [
+            k
+            for k in range(e.n_edges)
+            if {int(e.ei[k]), int(e.ej[k])} == {2, 3}
+        ][0]
+        assert scores[bridge] == scores.min()
+
+    def test_exact_formula(self):
+        g = from_edges(np.array([0]), np.array([1]), np.array([2.0]))
+        scores = ModularityScorer().score(g)
+        # W=2, vol=[2,2]: ΔQ = 2/2 - 4/(2*4) = 0.5
+        assert scores[0] == pytest.approx(0.5)
+
+    def test_merge_gain_is_exact(self, karate):
+        """Contracting a matching raises modularity by the matched score sum."""
+        scorer = ModularityScorer()
+        scores = scorer.score(karate)
+        matching = match_locally_dominant(karate, scores)
+        before = community_graph_modularity(karate)
+        after_graph, _ = contract(karate, matching)
+        after = community_graph_modularity(after_graph)
+        gained = scores[matching.matched_edges].sum()
+        assert after - before == pytest.approx(gained)
+
+    def test_zero_weight_graph(self):
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=2)
+        assert len(ModularityScorer().score(g)) == 0
+
+    def test_recorder_gets_score_kernel(self, karate):
+        rec = TraceRecorder()
+        ModularityScorer().score(karate, rec)
+        assert len(rec.by_name("score")) == 1
+        assert rec.by_name("score")[0].items == karate.n_edges
+
+
+class TestConductanceScorer:
+    def test_merge_gain_is_exact(self, karate):
+        """Contracting a matching lowers summed conductance by the score sum."""
+        scorer = ConductanceScorer()
+        scores = scorer.score(karate)
+        matching = match_locally_dominant(karate, scores)
+        phi_before = conductances(karate, Partition.singletons(34)).sum()
+        after_graph, mapping = contract(karate, matching)
+        phi_after = conductances(
+            after_graph, Partition.singletons(after_graph.n_vertices)
+        ).sum()
+        gained = scores[matching.matched_edges].sum()
+        assert phi_before - phi_after == pytest.approx(gained)
+
+    def test_positive_for_leaf_merge(self):
+        # Merging a leaf into its neighbor removes conductance-1 community.
+        g = from_edges(np.array([0, 1]), np.array([1, 2]))
+        scores = ConductanceScorer().score(g)
+        assert np.all(scores > 0)
+
+    def test_zero_weight_graph(self):
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=2)
+        assert len(ConductanceScorer().score(g)) == 0
+
+    def test_detects_communities_end_to_end(self, cliques):
+        from repro import TerminationCriteria, detect_communities
+
+        res = detect_communities(
+            cliques,
+            ConductanceScorer(),
+            termination=TerminationCriteria.local_maximum(),
+        )
+        # Conductance merging should coarsen the ring-of-cliques heavily.
+        assert res.n_communities < cliques.n_vertices / 2
+
+
+class TestWeightScorer:
+    def test_returns_weights(self, karate):
+        scores = WeightScorer().score(karate)
+        np.testing.assert_array_equal(scores, karate.edges.w)
+
+    def test_protocol_conformance(self):
+        from repro.core.scoring import EdgeScorer
+
+        for scorer in (ModularityScorer(), ConductanceScorer(), WeightScorer()):
+            assert isinstance(scorer, EdgeScorer)
+            assert isinstance(scorer.name, str)

@@ -1,0 +1,57 @@
+"""Unit tests for TerminationCriteria validation."""
+
+import pytest
+
+from repro.core import TerminationCriteria
+
+
+class TestValidation:
+    def test_defaults(self):
+        t = TerminationCriteria()
+        assert t.coverage == 0.5
+        assert t.min_communities == 1
+
+    def test_coverage_range(self):
+        with pytest.raises(ValueError):
+            TerminationCriteria(coverage=1.5)
+        with pytest.raises(ValueError):
+            TerminationCriteria(coverage=-0.1)
+
+    def test_coverage_none_ok(self):
+        TerminationCriteria(coverage=None)
+
+    def test_min_communities(self):
+        with pytest.raises(ValueError):
+            TerminationCriteria(min_communities=0)
+
+    def test_max_community_size(self):
+        with pytest.raises(ValueError):
+            TerminationCriteria(max_community_size=0)
+        TerminationCriteria(max_community_size=1)
+
+    def test_max_levels(self):
+        with pytest.raises(ValueError):
+            TerminationCriteria(max_levels=-1)
+        TerminationCriteria(max_levels=0)
+
+    def test_min_merge_fraction(self):
+        with pytest.raises(ValueError):
+            TerminationCriteria(min_merge_fraction=1.1)
+        TerminationCriteria(min_merge_fraction=0.0)
+
+    def test_frozen(self):
+        t = TerminationCriteria()
+        with pytest.raises(AttributeError):
+            t.coverage = 0.9  # type: ignore[misc]
+
+
+class TestPresets:
+    def test_local_maximum(self):
+        t = TerminationCriteria.local_maximum()
+        assert t.coverage is None
+        assert t.min_merge_fraction is None
+
+    def test_paper_experiments(self):
+        t = TerminationCriteria.paper_experiments()
+        assert t.coverage == 0.5
+        assert t.min_merge_fraction is not None

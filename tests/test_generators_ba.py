@@ -1,0 +1,58 @@
+"""Unit tests for the Barabási–Albert generator."""
+
+import numpy as np
+import pytest
+
+from repro.generators import barabasi_albert_graph
+from repro.graph.components import connected_components
+
+
+class TestBA:
+    def test_basic(self):
+        g = barabasi_albert_graph(200, 3, seed=0)
+        assert g.n_vertices == 200
+        g.validate()
+
+    def test_connected(self):
+        g = barabasi_albert_graph(300, 2, seed=1)
+        _, k = connected_components(g.n_vertices, g.edges.ei, g.edges.ej)
+        assert k == 1
+
+    def test_edge_count_bound(self):
+        # Seed clique + at most m per new vertex (dedup may lose a few).
+        n, m = 150, 4
+        g = barabasi_albert_graph(n, m, seed=2)
+        seed_edges = (m + 1) * m // 2
+        assert g.n_edges <= seed_edges + (n - m - 1) * m
+        assert g.n_edges >= seed_edges + (n - m - 1) * 1
+
+    def test_scale_free_skew(self):
+        g = barabasi_albert_graph(800, 3, seed=3)
+        deg = g.edges.degrees()
+        assert deg.max() > 6 * np.median(deg)
+
+    def test_simple_graph(self):
+        g = barabasi_albert_graph(100, 3, seed=4)
+        assert np.all(g.edges.w == 1.0)
+        assert np.all(g.self_weights == 0.0)
+
+    def test_deterministic(self):
+        a = barabasi_albert_graph(100, 2, seed=7)
+        b = barabasi_albert_graph(100, 2, seed=7)
+        np.testing.assert_array_equal(a.edges.ei, b.edges.ei)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(3, 3)
+
+    def test_hub_stress_for_matching(self):
+        """BA's hubs exercise the matching's claim-collision path."""
+        from repro.core import WeightScorer, match_locally_dominant
+        from repro.core.matching import is_maximal_matching
+
+        g = barabasi_albert_graph(400, 3, seed=5)
+        scores = WeightScorer().score(g)
+        res = match_locally_dominant(g, scores)
+        assert is_maximal_matching(g, scores, res)

@@ -1,0 +1,103 @@
+"""Unit tests for the deterministic fixture graphs."""
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    complete_graph,
+    grid_graph,
+    karate_club,
+    path_graph,
+    ring_of_cliques,
+    star_graph,
+    two_triangles,
+)
+
+
+class TestKarate:
+    def test_canonical_size(self):
+        g = karate_club()
+        assert g.n_vertices == 34
+        assert g.n_edges == 78
+        g.validate()
+
+    def test_known_degrees(self):
+        g = karate_club()
+        deg = g.edges.degrees()
+        assert deg[33] == 17  # instructor
+        assert deg[0] == 16  # president
+
+
+class TestRingOfCliques:
+    def test_counts(self):
+        g = ring_of_cliques(4, 5)
+        assert g.n_vertices == 20
+        assert g.n_edges == 4 * 10 + 4
+        g.validate()
+
+    def test_minimum_sizes(self):
+        with pytest.raises(ValueError):
+            ring_of_cliques(2, 5)
+        with pytest.raises(ValueError):
+            ring_of_cliques(3, 1)
+
+    def test_clique_degrees(self):
+        g = ring_of_cliques(3, 4)
+        deg = g.edges.degrees()
+        # All clique members have degree >= clique_size - 1.
+        assert deg.min() >= 3
+
+
+class TestStar:
+    def test_counts(self):
+        g = star_graph(6)
+        assert g.n_vertices == 7
+        assert g.n_edges == 6
+        assert g.edges.degrees()[0] == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            star_graph(0)
+
+
+class TestPathAndGrid:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.n_edges == 4
+        deg = g.edges.degrees()
+        assert deg[0] == 1 and deg[4] == 1 and deg[2] == 2
+
+    def test_path_single_vertex(self):
+        g = path_graph(1)
+        assert g.n_vertices == 1
+        assert g.n_edges == 0
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n_vertices == 12
+        assert g.n_edges == 3 * 3 + 2 * 4
+        g.validate()
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+
+class TestComplete:
+    def test_k5(self):
+        g = complete_graph(5)
+        assert g.n_edges == 10
+        assert np.all(g.edges.degrees() == 4)
+
+    def test_k1(self):
+        g = complete_graph(1)
+        assert g.n_edges == 0
+
+
+class TestTwoTriangles:
+    def test_structure(self):
+        g = two_triangles()
+        assert g.n_vertices == 6
+        assert g.n_edges == 7
+        deg = g.edges.degrees()
+        assert deg[2] == 3 and deg[3] == 3  # bridge endpoints

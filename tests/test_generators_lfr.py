@@ -1,0 +1,74 @@
+"""Unit tests for the LFR-style benchmark generator."""
+
+import numpy as np
+import pytest
+
+from repro.generators import lfr_graph
+from repro.metrics import Partition, coverage
+
+
+class TestLFR:
+    def test_basic(self):
+        g = lfr_graph(500, seed=0)
+        assert g.n_vertices == 500
+        g.validate()
+
+    def test_simple_graph(self):
+        g = lfr_graph(400, seed=1)
+        assert np.all(g.edges.w == 1.0)
+        assert np.all(g.self_weights == 0.0)
+
+    def test_deterministic(self):
+        a = lfr_graph(300, seed=9)
+        b = lfr_graph(300, seed=9)
+        np.testing.assert_array_equal(a.edges.ei, b.edges.ei)
+
+    def test_mean_degree_near_target(self):
+        g = lfr_graph(2000, avg_degree=12.0, seed=2)
+        mean_deg = 2 * g.n_edges / g.n_vertices
+        # Stub rejection loses a little; stay within 25 %.
+        assert mean_deg == pytest.approx(12.0, rel=0.25)
+
+    def test_mixing_controls_truth_coverage(self):
+        for mu in (0.1, 0.5):
+            g, labels = lfr_graph(1500, mu=mu, seed=3, return_labels=True)
+            cov = coverage(g, Partition.from_labels(labels))
+            assert cov == pytest.approx(1.0 - mu, abs=0.08)
+
+    def test_recovery_difficulty_increases_with_mu(self):
+        from repro import TerminationCriteria, detect_communities
+        from repro.metrics import normalized_mutual_information
+
+        nmis = []
+        for mu in (0.1, 0.6):
+            g, labels = lfr_graph(1200, mu=mu, seed=4, return_labels=True)
+            res = detect_communities(
+                g, termination=TerminationCriteria.local_maximum()
+            )
+            nmis.append(
+                normalized_mutual_information(
+                    res.partition, Partition.from_labels(labels)
+                )
+            )
+        assert nmis[0] > 2 * nmis[1]
+
+    def test_community_size_bounds(self):
+        g, labels = lfr_graph(
+            1000, min_community=25, max_community=100, seed=5, return_labels=True
+        )
+        sizes = np.bincount(labels)
+        assert sizes.min() >= 25
+        assert sizes.max() <= 100
+
+    def test_heavy_tailed_degrees(self):
+        g = lfr_graph(3000, degree_exponent=2.2, avg_degree=10.0, seed=6)
+        deg = g.edges.degrees()
+        assert deg.max() > 3 * np.median(deg[deg > 0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lfr_graph(10, min_community=20)
+        with pytest.raises(ValueError):
+            lfr_graph(500, mu=1.5)
+        with pytest.raises(ValueError):
+            lfr_graph(500, degree_exponent=1.0)

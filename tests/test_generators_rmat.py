@@ -1,0 +1,97 @@
+"""Unit tests for the R-MAT generator."""
+
+import numpy as np
+import pytest
+
+from repro.generators import rmat_edges, rmat_graph
+from repro.graph.components import connected_components
+
+
+class TestRmatEdges:
+    def test_edge_count(self):
+        i, j = rmat_edges(6, 8, seed=0)
+        assert len(i) == len(j) == (1 << 6) * 8
+
+    def test_vertex_range(self):
+        i, j = rmat_edges(7, 4, seed=1)
+        assert i.min() >= 0 and j.min() >= 0
+        assert i.max() < (1 << 7) and j.max() < (1 << 7)
+
+    def test_deterministic_given_seed(self):
+        a = rmat_edges(6, 4, seed=42)
+        b = rmat_edges(6, 4, seed=42)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_different_seeds_differ(self):
+        a = rmat_edges(6, 4, seed=1)
+        b = rmat_edges(6, 4, seed=2)
+        assert not np.array_equal(a[0], b[0])
+
+    def test_skew_toward_low_ids(self):
+        # a = 0.55 concentrates mass in the low-id quadrant.
+        i, j = rmat_edges(10, 16, noise=0.0, seed=0)
+        half = 1 << 9
+        low = np.count_nonzero((i < half) & (j < half))
+        high = np.count_nonzero((i >= half) & (j >= half))
+        assert low > 1.5 * high
+
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            rmat_edges(4, 2, a=0.9, b=0.9, c=0.0, d=0.0)
+
+    def test_scale_validated(self):
+        with pytest.raises(ValueError):
+            rmat_edges(-1, 2)
+
+    def test_edge_factor_validated(self):
+        with pytest.raises(ValueError):
+            rmat_edges(4, 0)
+
+    def test_noise_validated(self):
+        with pytest.raises(ValueError):
+            rmat_edges(4, 2, noise=1.5)
+
+    def test_scale_zero(self):
+        i, j = rmat_edges(0, 5, seed=0)
+        assert np.all(i == 0) and np.all(j == 0)
+
+    def test_quadrant_split_uniform_params(self):
+        # With a=b=c=d=0.25 and no noise the distribution is uniform.
+        i, j = rmat_edges(8, 64, a=0.25, b=0.25, c=0.25, d=0.25, noise=0.0, seed=3)
+        half = 1 << 7
+        counts = [
+            np.count_nonzero((i < half) & (j < half)),
+            np.count_nonzero((i < half) & (j >= half)),
+            np.count_nonzero((i >= half) & (j < half)),
+            np.count_nonzero((i >= half) & (j >= half)),
+        ]
+        total = sum(counts)
+        for c in counts:
+            assert abs(c / total - 0.25) < 0.02
+
+
+class TestRmatGraph:
+    def test_connected(self):
+        g = rmat_graph(8, 8, seed=0)
+        _, k = connected_components(g.n_vertices, g.edges.ei, g.edges.ej)
+        assert k == 1
+
+    def test_duplicates_accumulated(self):
+        g = rmat_graph(6, 16, seed=0, extract_largest_component=False)
+        # With 1024 samples over 64 vertices, duplicates are certain.
+        assert g.edges.w.max() > 1.0
+
+    def test_no_component_extraction(self):
+        g = rmat_graph(6, 1, seed=0, extract_largest_component=False)
+        assert g.n_vertices == 64
+
+    def test_valid_representation(self):
+        g = rmat_graph(8, 8, seed=5)
+        g.validate()
+
+    def test_power_law_ish_degrees(self):
+        g = rmat_graph(10, 16, seed=0)
+        deg = g.edges.degrees()
+        # Heavy tail: the max degree dwarfs the median.
+        assert deg.max() > 4 * np.median(deg[deg > 0])

@@ -1,0 +1,65 @@
+"""Unit tests for the planted-partition (soc-LiveJournal1 analogue) generator."""
+
+import numpy as np
+import pytest
+
+from repro.generators import planted_partition_graph
+from repro.graph.components import connected_components
+from repro.metrics import Partition, coverage
+
+
+class TestPlantedPartition:
+    def test_basic_shape(self):
+        g = planted_partition_graph(500, seed=0)
+        assert g.n_vertices == 500
+        assert g.n_edges > 0
+        g.validate()
+
+    def test_unit_weights_no_self_loops(self):
+        # The paper's LiveJournal snapshot has no self loops or multi-edges.
+        g = planted_partition_graph(300, seed=1)
+        assert np.all(g.edges.w == 1.0)
+        assert np.all(g.self_weights == 0.0)
+
+    def test_deterministic(self):
+        a = planted_partition_graph(200, seed=7)
+        b = planted_partition_graph(200, seed=7)
+        np.testing.assert_array_equal(a.edges.ei, b.edges.ei)
+        np.testing.assert_array_equal(a.edges.ej, b.edges.ej)
+
+    def test_labels_partition_all_vertices(self):
+        g, labels = planted_partition_graph(400, seed=2, return_labels=True)
+        assert len(labels) == 400
+        sizes = np.bincount(labels)
+        assert sizes.min() >= 2  # no stranded singleton communities
+
+    def test_planted_structure_has_high_coverage(self):
+        g, labels = planted_partition_graph(
+            600, seed=3, background_degree=1.0, return_labels=True
+        )
+        part = Partition.from_labels(labels)
+        # Most edges should be internal to the planted communities.
+        assert coverage(g, part) > 0.6
+
+    def test_communities_internally_connected(self):
+        g, labels = planted_partition_graph(
+            300, seed=4, background_degree=0.0, return_labels=True
+        )
+        # With no background edges, components == planted communities.
+        _, k = connected_components(g.n_vertices, g.edges.ei, g.edges.ej)
+        assert k == len(np.unique(labels))
+
+    def test_power_law_sizes_have_spread(self):
+        g, labels = planted_partition_graph(
+            3000, mean_community_size=20.0, seed=5, return_labels=True
+        )
+        sizes = np.bincount(labels)
+        assert sizes.max() > 4 * np.median(sizes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            planted_partition_graph(1)
+        with pytest.raises(ValueError):
+            planted_partition_graph(100, p_in=0.0)
+        with pytest.raises(ValueError):
+            planted_partition_graph(100, background_degree=-1.0)

@@ -1,0 +1,83 @@
+"""Unit tests for the synthetic web-crawl (uk-2007-05 analogue) generator."""
+
+import numpy as np
+import pytest
+
+from repro.generators import webgraph
+from repro.graph.components import connected_components
+
+
+class TestWebgraph:
+    def test_basic(self):
+        g = webgraph(2000, seed=0)
+        assert 0 < g.n_vertices <= 2000
+        assert g.n_edges > g.n_vertices  # dense-ish crawl
+        g.validate()
+
+    def test_connected_after_extraction(self):
+        g = webgraph(1500, seed=1)
+        _, k = connected_components(g.n_vertices, g.edges.ei, g.edges.ej)
+        assert k == 1
+
+    def test_deterministic(self):
+        a = webgraph(800, seed=9)
+        b = webgraph(800, seed=9)
+        np.testing.assert_array_equal(a.edges.ei, b.edges.ei)
+
+    def test_no_extraction_keeps_all_vertices(self):
+        g = webgraph(500, seed=2, extract_largest_component=False)
+        assert g.n_vertices == 500
+
+    def test_edge_density_tracks_parameter(self):
+        sparse = webgraph(1000, edges_per_vertex=4.0, seed=3,
+                          extract_largest_component=False)
+        dense = webgraph(1000, edges_per_vertex=16.0, seed=3,
+                         extract_largest_component=False)
+        assert dense.n_edges > 2 * sparse.n_edges
+
+    def test_host_locality_creates_contractible_structure(self):
+        # High on-host fraction must produce higher coverage under any
+        # host-respecting partition than a shuffled control would get.
+        from repro import detect_communities
+        g = webgraph(1500, seed=4, on_host_fraction=0.9)
+        res = detect_communities(g)
+        assert res.partition.n_communities < g.n_vertices / 3
+
+    def test_host_partition_matches_locality_parameter(self):
+        """Most edges must stay on-host: the host partition's coverage
+        tracks the on_host_fraction knob."""
+        from repro.metrics import Partition, coverage
+
+        g, hosts = webgraph(
+            2000,
+            seed=5,
+            on_host_fraction=0.8,
+            extract_largest_component=False,
+            return_hosts=True,
+        )
+        cov = coverage(g, Partition.from_labels(hosts))
+        assert cov > 0.6
+
+    def test_host_sizes_geometric_spread(self):
+        g, hosts = webgraph(
+            4000,
+            seed=6,
+            mean_host_size=50.0,
+            extract_largest_component=False,
+            return_hosts=True,
+        )
+        sizes = np.bincount(hosts)
+        sizes = sizes[sizes > 0]
+        assert sizes.max() > 3 * np.median(sizes)
+
+    def test_return_hosts_requires_no_extraction(self):
+        with pytest.raises(ValueError, match="return_hosts"):
+            webgraph(100, seed=0, return_hosts=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            webgraph(1)
+        with pytest.raises(ValueError):
+            webgraph(100, on_host_fraction=1.5)
+        with pytest.raises(ValueError):
+            webgraph(100, edges_per_vertex=0.0)

@@ -1,0 +1,73 @@
+"""Unit tests for connected components (validated against scipy)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from repro.graph import connected_components, from_edges
+
+
+def scipy_components(n, ei, ej):
+    m = sp.coo_matrix(
+        (np.ones(len(ei)), (ei, ej)), shape=(n, n)
+    )
+    return csgraph.connected_components(m, directed=False)
+
+
+class TestComponents:
+    def test_single_component(self):
+        labels, k = connected_components(4, np.array([0, 1, 2]), np.array([1, 2, 3]))
+        assert k == 1
+        assert len(set(labels.tolist())) == 1
+
+    def test_two_components(self):
+        labels, k = connected_components(4, np.array([0, 2]), np.array([1, 3]))
+        assert k == 2
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_isolated_vertices(self):
+        labels, k = connected_components(5, np.array([0]), np.array([1]))
+        assert k == 4
+
+    def test_empty_graph(self):
+        labels, k = connected_components(3, np.empty(0, int), np.empty(0, int))
+        assert k == 3
+        np.testing.assert_array_equal(labels, [0, 1, 2])
+
+    def test_zero_vertices(self):
+        labels, k = connected_components(0, np.empty(0, int), np.empty(0, int))
+        assert k == 0
+        assert len(labels) == 0
+
+    def test_labels_dense(self):
+        labels, k = connected_components(6, np.array([0, 4]), np.array([5, 2]))
+        assert set(labels.tolist()) == set(range(k))
+
+    def test_numbered_by_smallest_vertex(self):
+        labels, k = connected_components(4, np.array([2]), np.array([3]))
+        # Components: {0}, {1}, {2,3} -> ids 0, 1, 2.
+        np.testing.assert_array_equal(labels, [0, 1, 2, 2])
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_against_scipy(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 60
+        m = rng.integers(10, 80)
+        ei = rng.integers(0, n, m)
+        ej = rng.integers(0, n, m)
+        labels, k = connected_components(n, ei, ej)
+        k_ref, labels_ref = scipy_components(n, ei, ej)
+        assert k == k_ref
+        # Same partition up to renaming.
+        pairs = set(zip(labels.tolist(), labels_ref.tolist()))
+        assert len(pairs) == k
+
+    def test_long_path(self):
+        # Exercises the pointer-jumping depth bound.
+        n = 500
+        i = np.arange(n - 1)
+        labels, k = connected_components(n, i, i + 1)
+        assert k == 1

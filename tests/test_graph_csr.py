@@ -1,0 +1,50 @@
+"""Unit tests for the CSR adjacency view."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRAdjacency, from_edges
+
+
+class TestCSR:
+    def test_symmetric_expansion(self):
+        g = from_edges(np.array([0, 1]), np.array([1, 2]))
+        csr = CSRAdjacency.from_edgelist(g.edges)
+        assert sorted(csr.neighbors(1).tolist()) == [0, 2]
+        assert csr.neighbors(0).tolist() == [1]
+
+    def test_weights_aligned(self):
+        g = from_edges(np.array([0, 1]), np.array([1, 2]), np.array([2.0, 3.0]))
+        csr = CSRAdjacency.from_edgelist(g.edges)
+        n1 = csr.neighbors(1)
+        w1 = csr.neighbor_weights(1)
+        lookup = dict(zip(n1.tolist(), w1.tolist()))
+        assert lookup == {0: 2.0, 2: 3.0}
+
+    def test_degrees_match_edgelist(self, karate):
+        csr = CSRAdjacency.from_edgelist(karate.edges)
+        np.testing.assert_array_equal(csr.degrees(), karate.edges.degrees())
+
+    def test_total_arcs(self, karate):
+        csr = CSRAdjacency.from_edgelist(karate.edges)
+        assert csr.xadj[-1] == 2 * karate.n_edges
+
+    def test_isolated_vertex(self):
+        g = from_edges(np.array([0]), np.array([1]), n_vertices=3)
+        csr = CSRAdjacency.from_edgelist(g.edges)
+        assert csr.degree(2) == 0
+        assert len(csr.neighbors(2)) == 0
+
+    def test_empty_graph(self):
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=4)
+        csr = CSRAdjacency.from_edgelist(g.edges)
+        assert csr.xadj[-1] == 0
+        assert all(csr.degree(v) == 0 for v in range(4))
+
+    def test_neighbor_sets_consistent(self, random_graph_factory):
+        g = random_graph_factory(n=25, m=80, seed=3)
+        csr = CSRAdjacency.from_edgelist(g.edges)
+        # u in N(v) iff v in N(u)
+        for v in range(g.n_vertices):
+            for u in csr.neighbors(v).tolist():
+                assert v in csr.neighbors(u).tolist()

@@ -1,0 +1,85 @@
+"""Unit tests for CommunityGraph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.graph import CommunityGraph, from_edges
+from repro.graph.edgelist import EdgeList
+
+
+def make(i, j, w=None, n=None, selfw=None):
+    g = from_edges(np.asarray(i), np.asarray(j), w, n_vertices=n)
+    if selfw is not None:
+        g.self_weights[:] = selfw
+    return g
+
+
+class TestConstruction:
+    def test_default_self_weights_zero(self):
+        g = make([0, 1], [1, 2])
+        np.testing.assert_array_equal(g.self_weights, [0.0, 0.0, 0.0])
+
+    def test_self_weights_length_checked(self):
+        e = EdgeList.from_raw(np.array([0]), np.array([1]), None, 2)
+        with pytest.raises(ValueError):
+            CommunityGraph(e, np.zeros(3))
+
+    def test_counts(self):
+        g = make([0, 1, 2], [1, 2, 3])
+        assert g.n_vertices == 4
+        assert g.n_edges == 3
+
+
+class TestWeights:
+    def test_total_weight_includes_self(self):
+        g = make([0, 1], [1, 2], w=[2.0, 3.0], selfw=[1.0, 0.0, 1.0])
+        assert g.total_weight() == 7.0
+
+    def test_internal_weight(self):
+        g = make([0, 1], [1, 2], selfw=[1.0, 2.0, 0.0])
+        assert g.internal_weight() == 3.0
+
+    def test_coverage(self):
+        g = make([0, 1], [1, 2], selfw=[1.0, 1.0, 0.0])
+        assert g.coverage() == pytest.approx(0.5)
+
+    def test_coverage_empty_graph(self):
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=3)
+        assert g.coverage() == 1.0
+
+    def test_strengths_convention(self):
+        # strength = 2*self + incident: an internal edge counts twice.
+        g = make([0], [1], w=[3.0], selfw=[2.0, 0.0])
+        np.testing.assert_allclose(g.strengths(), [7.0, 3.0])
+
+    def test_strength_sum_is_2w(self):
+        g = make([0, 1, 0], [1, 2, 2], w=[1.0, 2.0, 4.0], selfw=[1.0, 0, 0])
+        assert g.strengths().sum() == pytest.approx(2 * g.total_weight())
+
+
+class TestMisc:
+    def test_memory_words(self):
+        g = make([0, 1], [1, 2])
+        assert g.memory_words() == 3 * 2 + 2 * 3 + 3
+
+    def test_copy_independent(self):
+        g = make([0], [1])
+        c = g.copy()
+        c.self_weights[0] = 5.0
+        assert g.self_weights[0] == 0.0
+
+    def test_validate_negative_self_weight(self):
+        g = make([0], [1])
+        g.self_weights[0] = -1.0
+        with pytest.raises(InvariantViolation):
+            g.validate()
+
+    def test_validate_nan_edge_weight(self):
+        g = make([0], [1])
+        g.edges.w[0] = np.nan
+        with pytest.raises(InvariantViolation):
+            g.validate()
+
+    def test_validate_ok(self, karate):
+        karate.validate()

@@ -1,0 +1,147 @@
+"""Unit tests for graph file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    from_edges,
+    load_npz,
+    read_edgelist,
+    read_metis,
+    save_npz,
+    write_edgelist,
+    write_metis,
+)
+
+
+@pytest.fixture
+def weighted_graph():
+    return from_edges(
+        np.array([0, 1, 2, 2]),
+        np.array([1, 2, 3, 2]),
+        np.array([1.0, 2.0, 3.0, 4.0]),
+    )
+
+
+class TestEdgeList:
+    def test_roundtrip_weighted(self, tmp_path, weighted_graph):
+        path = tmp_path / "g.txt"
+        write_edgelist(weighted_graph, path)
+        g = read_edgelist(path)
+        assert g.n_vertices == weighted_graph.n_vertices
+        assert g.n_edges == weighted_graph.n_edges
+        assert g.total_weight() == pytest.approx(weighted_graph.total_weight())
+
+    def test_roundtrip_unweighted(self, tmp_path, karate):
+        path = tmp_path / "k.txt"
+        write_edgelist(karate, path, weights=False)
+        g = read_edgelist(path)
+        assert g.n_edges == karate.n_edges
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n% other comment\n0 1\n1 2\n")
+        g = read_edgelist(path)
+        assert g.n_edges == 2
+
+    def test_auto_weight_detection(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2.5\n1 2 1.5\n")
+        g = read_edgelist(path)
+        assert g.total_weight() == pytest.approx(4.0)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            read_edgelist(path)
+
+    def test_non_numeric(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edgelist(path)
+
+    def test_negative_id(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("-1 2\n")
+        with pytest.raises(GraphFormatError):
+            read_edgelist(path)
+
+
+class TestMetis:
+    def test_roundtrip(self, tmp_path, weighted_graph):
+        path = tmp_path / "g.metis"
+        write_metis(weighted_graph, path)
+        g = read_metis(path)
+        assert g.n_vertices == weighted_graph.n_vertices
+        assert g.n_edges == weighted_graph.n_edges
+        # Self loops are not representable in METIS adjacency; compare
+        # only the cross-edge weights.
+        assert g.edges.total_weight() == pytest.approx(
+            weighted_graph.edges.total_weight()
+        )
+
+    def test_roundtrip_karate(self, tmp_path, karate):
+        path = tmp_path / "k.metis"
+        write_metis(karate, path)
+        g = read_metis(path)
+        assert g.n_edges == karate.n_edges
+        g.validate()
+
+    def test_unweighted_format(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("3 2\n2\n1 3\n2\n")
+        g = read_metis(path)
+        assert g.n_edges == 2
+        np.testing.assert_array_equal(g.edges.w, [1.0, 1.0])
+
+    def test_vertex_weights_rejected(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 1 11\n1 2 1\n1 1 1\n")
+        with pytest.raises(GraphFormatError, match="vertex weights"):
+            read_metis(path)
+
+    def test_wrong_line_count(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("3 1\n2\n1\n")
+        with pytest.raises(GraphFormatError, match="adjacency lines"):
+            read_metis(path)
+
+    def test_neighbor_out_of_range(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 1\n5\n1\n")
+        with pytest.raises(GraphFormatError, match="out of range"):
+            read_metis(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("")
+        with pytest.raises(GraphFormatError, match="empty"):
+            read_metis(path)
+
+    def test_edge_count_mismatch(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("3 9\n2\n1 3\n2\n")
+        with pytest.raises(GraphFormatError, match="declares"):
+            read_metis(path)
+
+
+class TestNpz:
+    def test_roundtrip_exact(self, tmp_path, weighted_graph):
+        path = tmp_path / "g.npz"
+        save_npz(weighted_graph, path)
+        g = load_npz(str(path) if not str(path).endswith(".npz") else path)
+        np.testing.assert_array_equal(g.edges.ei, weighted_graph.edges.ei)
+        np.testing.assert_array_equal(g.edges.ej, weighted_graph.edges.ej)
+        np.testing.assert_array_equal(g.edges.w, weighted_graph.edges.w)
+        np.testing.assert_array_equal(
+            g.self_weights, weighted_graph.self_weights
+        )
+
+    def test_load_validates(self, tmp_path, karate):
+        path = tmp_path / "k.npz"
+        save_npz(karate, path)
+        g = load_npz(path)
+        assert g.n_edges == 78

@@ -1,0 +1,67 @@
+"""Unit tests for induced subgraphs and largest-component extraction."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, induced_subgraph, largest_component
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges(self):
+        g = from_edges(np.array([0, 1, 2]), np.array([1, 2, 3]))
+        sub, mapping = induced_subgraph(g, np.array([0, 1, 2]))
+        assert sub.n_vertices == 3
+        assert sub.n_edges == 2
+        np.testing.assert_array_equal(mapping, [0, 1, 2])
+
+    def test_drops_cross_edges(self):
+        g = from_edges(np.array([0, 1]), np.array([1, 2]))
+        sub, _ = induced_subgraph(g, np.array([0, 1]))
+        assert sub.n_edges == 1
+
+    def test_preserves_weights_and_self_weights(self):
+        g = from_edges(np.array([0, 1, 1]), np.array([1, 1, 2]), np.array([2.0, 5.0, 1.0]))
+        sub, mapping = induced_subgraph(g, np.array([0, 1]))
+        assert sub.edges.w[0] == 2.0
+        assert sub.self_weights[1] == 5.0
+
+    def test_renumbering(self):
+        g = from_edges(np.array([2]), np.array([4]), n_vertices=5)
+        sub, mapping = induced_subgraph(g, np.array([2, 4]))
+        assert sub.n_vertices == 2
+        assert sub.n_edges == 1
+        np.testing.assert_array_equal(mapping, [2, 4])
+
+    def test_out_of_range_rejected(self):
+        g = from_edges(np.array([0]), np.array([1]))
+        with pytest.raises(ValueError):
+            induced_subgraph(g, np.array([5]))
+
+    def test_duplicate_ids_deduped(self):
+        g = from_edges(np.array([0]), np.array([1]))
+        sub, mapping = induced_subgraph(g, np.array([0, 0, 1]))
+        assert sub.n_vertices == 2
+
+
+class TestLargestComponent:
+    def test_picks_biggest(self):
+        # Component {0,1,2} vs {3,4}.
+        g = from_edges(np.array([0, 1, 3]), np.array([1, 2, 4]))
+        sub, mapping = largest_component(g)
+        assert sub.n_vertices == 3
+        np.testing.assert_array_equal(mapping, [0, 1, 2])
+
+    def test_whole_graph_connected(self, karate):
+        sub, mapping = largest_component(karate)
+        assert sub.n_vertices == karate.n_vertices
+        assert sub.n_edges == karate.n_edges
+
+    def test_isolated_vertices_dropped(self):
+        g = from_edges(np.array([0]), np.array([1]), n_vertices=5)
+        sub, _ = largest_component(g)
+        assert sub.n_vertices == 2
+
+    def test_validates(self, random_graph_factory):
+        g = random_graph_factory(n=40, m=30, seed=7)
+        sub, _ = largest_component(g)
+        sub.validate()

@@ -1,0 +1,119 @@
+"""Integration tests: the full paper pipeline end to end —
+generate → detect (traced) → simulate platforms → report."""
+
+import numpy as np
+import pytest
+
+from repro import TerminationCriteria, detect_communities, modularity
+from repro.bench import (
+    load_dataset,
+    peak_rate,
+    run_with_trace,
+    scaling_experiment,
+)
+from repro.bench.experiments import ALL_PLATFORMS
+from repro.metrics import coverage
+from repro.platform import simulate_time
+
+
+@pytest.fixture(scope="module")
+def lj_run():
+    g = load_dataset("soc-LiveJournal1", scale=0.5, seed=0)
+    return g, run_with_trace(g, graph_name="soc-LiveJournal1")
+
+
+class TestFullPipeline:
+    def test_detection_terminates_sensibly(self, lj_run):
+        g, run = lj_run
+        res = run.result
+        assert res.terminated_by in ("coverage", "local_maximum", "stalled")
+        if res.terminated_by == "coverage":
+            assert coverage(g, res.partition) >= 0.5
+
+    def test_communities_nontrivial(self, lj_run):
+        g, run = lj_run
+        res = run.result
+        assert 1 < res.n_communities < g.n_vertices
+        assert modularity(g, res.partition) > 0.1
+
+    def test_trace_covers_all_levels(self, lj_run):
+        _, run = lj_run
+        assert run.recorder.n_levels == run.result.n_levels
+        names = {r.name for r in run.recorder.records}
+        assert {"score", "match_pass", "contract_relabel"} <= names
+
+    def test_all_platforms_simulate(self, lj_run):
+        _, run = lj_run
+        for machine in ALL_PLATFORMS:
+            t1 = simulate_time(run.recorder.records, machine, 1).total
+            assert t1 > 0
+            best = min(
+                simulate_time(run.recorder.records, machine, p).total
+                for p in (2, 4, 8, 16)
+            )
+            if machine.kind == "openmp":
+                # Intel threads always gain on this graph.
+                assert best < t1
+            else:
+                # A half-scale soc-LiveJournal1 cannot even fill one XMT
+                # processor's thread contexts — the paper's "insufficient
+                # parallelism" case.  Adding processors must not explode,
+                # but need not help.
+                assert best < 1.25 * t1
+
+    def test_sweep_speedups_sane(self, lj_run):
+        _, run = lj_run
+        sweeps = scaling_experiment(run, ALL_PLATFORMS, seed=0)
+        for name, sr in sweeps.items():
+            su = sr.best_speedup()
+            assert 1.0 <= su <= sr.machine.max_parallelism
+            assert peak_rate(sr) > 0
+
+    def test_contraction_dominates_like_paper(self, lj_run):
+        """§IV-C: contraction takes 40-80% of execution time (we accept a
+        slightly wider band: it must at least be the largest single phase
+        group or close to the matching)."""
+        _, run = lj_run
+        bd = simulate_time(run.recorder.records, ALL_PLATFORMS[2], 1)
+        share = bd.fraction_prefix("contract")
+        assert 0.25 <= share <= 0.85
+
+
+class TestScorerPipelines:
+    def test_conductance_pipeline(self):
+        from repro import ConductanceScorer
+
+        g = load_dataset("soc-LiveJournal1", scale=0.3, seed=1)
+        res = detect_communities(
+            g,
+            ConductanceScorer(),
+            termination=TerminationCriteria(coverage=0.5),
+        )
+        assert res.n_communities < g.n_vertices
+
+    def test_custom_scorer_plugs_in(self, karate):
+        class InverseDegreeScorer:
+            name = "inverse-degree"
+
+            def score(self, graph, recorder=None):
+                deg = graph.edges.degrees().astype(float)
+                e = graph.edges
+                return 1.0 / (1.0 + deg[e.ei] * deg[e.ej])
+
+        res = detect_communities(
+            karate,
+            InverseDegreeScorer(),
+            termination=TerminationCriteria(coverage=None, max_levels=2),
+        )
+        assert res.n_levels == 2
+
+
+class TestRefinementIntegration:
+    def test_refine_after_detect_improves_or_keeps(self):
+        from repro import refine_partition
+
+        g = load_dataset("soc-LiveJournal1", scale=0.3, seed=2)
+        res = detect_communities(g)
+        q0 = modularity(g, res.partition)
+        refined, _ = refine_partition(g, res.partition, max_sweeps=3)
+        assert modularity(g, refined) >= q0 - 1e-12

@@ -1,0 +1,190 @@
+"""Unit tests for the graph-analysis kernels (validated against networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.generators import (
+    complete_graph,
+    path_graph,
+    planted_partition_graph,
+    ring_of_cliques,
+    rmat_graph,
+    star_graph,
+)
+from repro.graph import from_edges, to_networkx
+from repro.kernels import (
+    bfs_distances,
+    core_numbers,
+    eccentricity_lower_bound,
+    global_clustering_coefficient,
+    local_clustering_coefficients,
+    pagerank,
+    triangle_counts,
+)
+
+
+class TestBFS:
+    def test_path_distances(self):
+        g = path_graph(5)
+        np.testing.assert_array_equal(bfs_distances(g, 0), [0, 1, 2, 3, 4])
+        np.testing.assert_array_equal(bfs_distances(g, 2), [2, 1, 0, 1, 2])
+
+    def test_unreachable(self):
+        g = from_edges(np.array([0]), np.array([1]), n_vertices=4)
+        dist = bfs_distances(g, 0)
+        assert dist[1] == 1
+        assert dist[2] == -1 and dist[3] == -1
+
+    def test_star(self):
+        g = star_graph(5)
+        dist = bfs_distances(g, 1)  # a leaf
+        assert dist[0] == 1
+        assert all(dist[k] == 2 for k in range(2, 6))
+
+    def test_source_validated(self, karate):
+        with pytest.raises(ValueError):
+            bfs_distances(karate, 99)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_against_networkx(self, random_graph_factory, seed):
+        g = random_graph_factory(n=30, m=60, seed=seed)
+        dist = bfs_distances(g, 0)
+        ref = nx.single_source_shortest_path_length(to_networkx(g), 0)
+        for v in range(g.n_vertices):
+            assert dist[v] == ref.get(v, -1)
+
+    def test_eccentricity_bound_path(self):
+        g = path_graph(10)
+        assert eccentricity_lower_bound(g, source=5) == 9  # finds diameter
+
+    def test_eccentricity_validation(self, karate):
+        with pytest.raises(ValueError):
+            eccentricity_lower_bound(karate, sweeps=0)
+
+
+class TestTriangles:
+    def test_triangle_graph(self):
+        g = complete_graph(3)
+        np.testing.assert_array_equal(triangle_counts(g), [1, 1, 1])
+
+    def test_k5(self):
+        g = complete_graph(5)
+        # Each vertex is in C(4,2) = 6 triangles.
+        np.testing.assert_array_equal(triangle_counts(g), [6] * 5)
+
+    def test_path_has_none(self):
+        assert triangle_counts(path_graph(6)).sum() == 0
+
+    def test_against_networkx(self, karate):
+        tri = triangle_counts(karate)
+        ref = nx.triangles(to_networkx(karate))
+        for v in range(34):
+            assert tri[v] == ref[v]
+
+    def test_local_clustering_against_networkx(self, karate):
+        ours = local_clustering_coefficients(karate)
+        ref = nx.clustering(to_networkx(karate))
+        for v in range(34):
+            assert ours[v] == pytest.approx(ref[v])
+
+    def test_global_clustering_against_networkx(self, karate):
+        assert global_clustering_coefficient(karate) == pytest.approx(
+            nx.transitivity(to_networkx(karate))
+        )
+
+    def test_rmat_lacks_community_structure(self):
+        """[36]'s observation, cited by the paper: R-MAT clustering is low
+        compared to a genuinely community-structured graph."""
+        rmat_cc = global_clustering_coefficient(rmat_graph(9, 8, seed=0))
+        planted_cc = global_clustering_coefficient(
+            planted_partition_graph(600, seed=0)
+        )
+        assert planted_cc > 2 * rmat_cc
+
+    def test_empty(self):
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=3)
+        assert triangle_counts(g).sum() == 0
+        assert global_clustering_coefficient(g) == 0.0
+
+
+class TestKCore:
+    def test_triangle_with_tail(self):
+        g = from_edges(
+            np.array([0, 0, 1, 2]), np.array([1, 2, 2, 3])
+        )
+        np.testing.assert_array_equal(core_numbers(g), [2, 2, 2, 1])
+
+    def test_clique_core(self):
+        g = complete_graph(6)
+        np.testing.assert_array_equal(core_numbers(g), [5] * 6)
+
+    def test_against_networkx(self, karate):
+        ours = core_numbers(karate)
+        ref = nx.core_number(to_networkx(karate))
+        for v in range(34):
+            assert ours[v] == ref[v]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_against_networkx(self, random_graph_factory, seed):
+        g = random_graph_factory(n=40, m=120, seed=seed, weighted=False)
+        ours = core_numbers(g)
+        nxg = to_networkx(g)
+        nxg.remove_edges_from(nx.selfloop_edges(nxg))
+        ref = nx.core_number(nxg)
+        for v in range(g.n_vertices):
+            assert ours[v] == ref.get(v, 0)
+
+    def test_isolated_vertices_zero(self):
+        g = from_edges(np.array([0]), np.array([1]), n_vertices=4)
+        cores = core_numbers(g)
+        assert cores[2] == 0 and cores[3] == 0
+
+    def test_empty(self):
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=2)
+        np.testing.assert_array_equal(core_numbers(g), [0, 0])
+
+
+class TestPageRank:
+    def test_sums_to_one(self, karate):
+        assert pagerank(karate).sum() == pytest.approx(1.0)
+
+    def test_against_networkx(self, karate):
+        ours = pagerank(karate, tol=1e-12)
+        ref = nx.pagerank(
+            to_networkx(karate), alpha=0.85, weight="weight", tol=1e-12
+        )
+        np.testing.assert_allclose(
+            ours, [ref[v] for v in range(34)], atol=1e-8
+        )
+
+    def test_star_hub_ranks_highest(self):
+        g = star_graph(8)
+        pr = pagerank(g)
+        assert pr.argmax() == 0
+
+    def test_symmetric_regular_graph_uniform(self):
+        g = ring_of_cliques(4, 4)
+        # Not regular (link vertices differ) but a clique is:
+        g2 = complete_graph(5)
+        pr = pagerank(g2)
+        np.testing.assert_allclose(pr, 0.2)
+
+    def test_weighted_influence(self):
+        # Vertex 1 heavily tied to 0: ranks above 2.
+        g = from_edges(np.array([0, 0]), np.array([1, 2]), np.array([10.0, 1.0]))
+        pr = pagerank(g)
+        assert pr[1] > pr[2]
+
+    def test_damping_validated(self, karate):
+        with pytest.raises(ValueError):
+            pagerank(karate, damping=1.0)
+
+    def test_convergence_error(self, karate):
+        with pytest.raises(ConvergenceError):
+            pagerank(karate, tol=1e-16, max_iter=2)
+
+    def test_empty(self):
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=0)
+        assert len(pagerank(g)) == 0

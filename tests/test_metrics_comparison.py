@@ -1,0 +1,93 @@
+"""Unit tests for NMI and ARI."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    Partition,
+    adjusted_rand_index,
+    normalized_mutual_information,
+)
+
+
+def P(*labels):
+    return Partition.from_labels(np.array(labels))
+
+
+class TestNMI:
+    def test_identical(self):
+        a = P(0, 0, 1, 1)
+        assert normalized_mutual_information(a, a) == pytest.approx(1.0)
+
+    def test_renamed_identical(self):
+        assert normalized_mutual_information(
+            P(0, 0, 1, 1), P(1, 1, 0, 0)
+        ) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = Partition.from_labels(rng.integers(0, 5, 2000))
+        b = Partition.from_labels(rng.integers(0, 5, 2000))
+        assert abs(normalized_mutual_information(a, b)) < 0.05
+
+    def test_degenerate_all_one_vs_split(self):
+        assert normalized_mutual_information(P(0, 0, 0), P(0, 1, 2)) == 0.0
+
+    def test_both_degenerate(self):
+        assert normalized_mutual_information(P(0, 0), P(0, 0)) == 1.0
+
+    def test_symmetric(self):
+        a, b = P(0, 0, 1, 2), P(0, 1, 1, 1)
+        assert normalized_mutual_information(
+            a, b
+        ) == pytest.approx(normalized_mutual_information(b, a))
+
+    def test_range(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a = Partition.from_labels(rng.integers(0, 4, 50))
+            b = Partition.from_labels(rng.integers(0, 4, 50))
+            v = normalized_mutual_information(a, b)
+            assert -1e-9 <= v <= 1 + 1e-9
+
+    def test_mismatched_sizes(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information(P(0, 1), P(0, 1, 2))
+
+    def test_empty(self):
+        e = Partition(np.empty(0, dtype=np.int64))
+        assert normalized_mutual_information(e, e) == 1.0
+
+
+class TestARI:
+    def test_identical(self):
+        a = P(0, 0, 1, 1)
+        assert adjusted_rand_index(a, a) == pytest.approx(1.0)
+
+    def test_renamed(self):
+        assert adjusted_rand_index(P(0, 0, 1), P(2, 2, 0)) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(2)
+        a = Partition.from_labels(rng.integers(0, 5, 2000))
+        b = Partition.from_labels(rng.integers(0, 5, 2000))
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_known_value(self):
+        # sklearn's doc example: ARI([0,0,1,2],[0,0,1,1]) = 0.571428...
+        a = P(0, 0, 1, 2)
+        b = P(0, 0, 1, 1)
+        assert adjusted_rand_index(a, b) == pytest.approx(0.5714285714, abs=1e-9)
+
+    def test_symmetric(self):
+        a, b = P(0, 1, 1, 2), P(0, 0, 1, 2)
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a)
+        )
+
+    def test_degenerate_same(self):
+        assert adjusted_rand_index(P(0, 0, 0), P(0, 0, 0)) == 1.0
+
+    def test_empty(self):
+        e = Partition(np.empty(0, dtype=np.int64))
+        assert adjusted_rand_index(e, e) == 1.0

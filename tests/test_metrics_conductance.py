@@ -1,0 +1,54 @@
+"""Unit tests for conductance."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges
+from repro.metrics import Partition, average_conductance, conductances
+
+
+class TestConductance:
+    def test_two_triangles_split(self, triangles):
+        p = Partition(np.array([0, 0, 0, 1, 1, 1]))
+        phi = conductances(triangles, p)
+        # Each side: cut=1, vol=7, 2W-vol=7 -> 1/7.
+        np.testing.assert_allclose(phi, [1 / 7, 1 / 7])
+
+    def test_whole_graph_zero(self, karate):
+        p = Partition(np.zeros(34, dtype=np.int64))
+        phi = conductances(karate, p)
+        assert phi[0] == 0.0
+
+    def test_isolated_vertex_zero(self):
+        g = from_edges(np.array([0]), np.array([1]), n_vertices=3)
+        p = Partition(np.array([0, 0, 1]))
+        phi = conductances(g, p)
+        assert phi[1] == 0.0  # community {2} has no volume
+
+    def test_singleton_leaf(self):
+        g = from_edges(np.array([0, 1]), np.array([1, 2]))
+        p = Partition(np.array([0, 0, 1]))
+        phi = conductances(g, p)
+        # {2}: cut=1, vol=1, 2W-vol=3 -> 1.
+        assert phi[1] == pytest.approx(1.0)
+
+    def test_average(self, triangles):
+        p = Partition(np.array([0, 0, 0, 1, 1, 1]))
+        assert average_conductance(triangles, p) == pytest.approx(1 / 7)
+
+    def test_symmetric_in_complement(self):
+        # Two communities: both see the same cut; denominators mirror.
+        g = from_edges(np.array([0, 0, 1]), np.array([1, 2, 2]), n_vertices=4)
+        p = Partition(np.array([0, 0, 0, 1]))
+        phi = conductances(g, p)
+        assert phi[0] == 0.0  # vertex 3 is isolated: no cut anywhere
+        assert phi[1] == 0.0
+
+    def test_size_mismatch(self, karate):
+        with pytest.raises(ValueError):
+            conductances(karate, Partition.singletons(5))
+
+    def test_empty_partition(self):
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=0)
+        p = Partition(np.empty(0, dtype=np.int64))
+        assert average_conductance(g, p) == 0.0

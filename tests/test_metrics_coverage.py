@@ -1,0 +1,54 @@
+"""Unit tests for coverage."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges
+from repro.metrics import Partition, coverage, mirror_coverage
+
+
+class TestCoverage:
+    def test_all_in_one_full(self, karate):
+        p = Partition(np.zeros(34, dtype=np.int64))
+        assert coverage(karate, p) == 1.0
+
+    def test_singletons_zero(self, karate):
+        p = Partition.singletons(34)
+        assert coverage(karate, p) == 0.0
+
+    def test_two_triangles_split(self, triangles):
+        p = Partition(np.array([0, 0, 0, 1, 1, 1]))
+        assert coverage(triangles, p) == pytest.approx(6 / 7)
+
+    def test_weighted(self):
+        g = from_edges(np.array([0, 1]), np.array([1, 2]), np.array([3.0, 1.0]))
+        p = Partition(np.array([0, 0, 1]))
+        assert coverage(g, p) == pytest.approx(0.75)
+
+    def test_self_weights_always_internal(self):
+        g = from_edges(np.array([0, 1]), np.array([0, 2]))  # loop at 0
+        p = Partition.singletons(3)
+        assert coverage(g, p) == pytest.approx(0.5)
+
+    def test_mirror(self, triangles):
+        p = Partition(np.array([0, 0, 0, 1, 1, 1]))
+        assert mirror_coverage(triangles, p) == pytest.approx(1 / 7)
+
+    def test_empty_graph_conventions(self):
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=2)
+        p = Partition.singletons(2)
+        assert coverage(g, p) == 1.0
+
+    def test_size_mismatch(self, karate):
+        with pytest.raises(ValueError):
+            coverage(karate, Partition.singletons(2))
+
+    def test_matches_graph_coverage_after_contraction(self, karate):
+        """graph.coverage() of the contracted graph equals metric coverage
+        of the inducing partition — the identity the driver relies on."""
+        from repro.core.contraction import _build_contracted
+
+        labels = np.array([0] * 17 + [1] * 17, dtype=np.int64)
+        p = Partition.from_labels(labels)
+        contracted = _build_contracted(karate, p.labels, 2)
+        assert contracted.coverage() == pytest.approx(coverage(karate, p))

@@ -1,0 +1,99 @@
+"""Unit tests for the DIMACS challenge objectives."""
+
+import numpy as np
+import pytest
+
+from repro.generators import complete_graph, ring_of_cliques
+from repro.graph import from_edges
+from repro.metrics import (
+    Partition,
+    expansion,
+    intercluster_conductance,
+    min_intracluster_density,
+    performance,
+)
+
+
+@pytest.fixture
+def tri_partition():
+    return Partition(np.array([0, 0, 0, 1, 1, 1]))
+
+
+class TestPerformance:
+    def test_perfect_cliques(self):
+        g = complete_graph(4)
+        p = Partition(np.zeros(4, dtype=np.int64))
+        assert performance(g, p) == 1.0
+
+    def test_two_triangles(self, triangles, tri_partition):
+        # Pairs: 15.  Intra edges correct: 6.  Inter pairs: 9, of which 1
+        # (the bridge) is an edge -> 8 correct.  (6 + 8) / 15.
+        assert performance(triangles, tri_partition) == pytest.approx(14 / 15)
+
+    def test_all_singletons(self, triangles):
+        p = Partition.singletons(6)
+        # All 7 edges misclassified: (15 - 7) / 15.
+        assert performance(triangles, p) == pytest.approx(8 / 15)
+
+    def test_single_vertex(self):
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=1)
+        assert performance(g, Partition.singletons(1)) == 1.0
+
+    def test_ring_of_cliques_high(self):
+        g = ring_of_cliques(6, 4)
+        p = Partition.from_labels(np.repeat(np.arange(6), 4))
+        assert performance(g, p) > 0.95
+
+    def test_size_mismatch(self, karate):
+        with pytest.raises(ValueError):
+            performance(karate, Partition.singletons(3))
+
+
+class TestExpansion:
+    def test_two_triangles(self, triangles, tri_partition):
+        # Each side: cut 1, min(3, 3) = 3 -> 1/3.
+        assert expansion(triangles, tri_partition) == pytest.approx(1 / 3)
+
+    def test_whole_graph_zero(self, karate):
+        p = Partition(np.zeros(34, dtype=np.int64))
+        assert expansion(karate, p) == 0.0
+
+    def test_monotone_with_cut(self):
+        g = from_edges(np.array([0, 0]), np.array([1, 2]), np.array([1.0, 5.0]))
+        p_light = Partition(np.array([0, 1, 0]))  # cuts weight-1 edge
+        p_heavy = Partition(np.array([0, 0, 1]))  # cuts weight-5 edge
+        assert expansion(g, p_heavy) > expansion(g, p_light)
+
+
+class TestInterclusterConductance:
+    def test_two_triangles(self, triangles, tri_partition):
+        assert intercluster_conductance(
+            triangles, tri_partition
+        ) == pytest.approx(1 - 1 / 7)
+
+    def test_range(self, karate):
+        from repro import detect_communities
+
+        res = detect_communities(karate)
+        v = intercluster_conductance(karate, res.partition)
+        assert 0.0 <= v <= 1.0
+
+
+class TestMinIntraclusterDensity:
+    def test_cliques_are_dense(self):
+        g = ring_of_cliques(4, 4)
+        p = Partition.from_labels(np.repeat(np.arange(4), 4))
+        assert min_intracluster_density(g, p) == pytest.approx(1.0)
+
+    def test_two_triangles(self, triangles, tri_partition):
+        assert min_intracluster_density(
+            triangles, tri_partition
+        ) == pytest.approx(1.0)
+
+    def test_sparse_cluster_low(self):
+        g = from_edges(np.array([0]), np.array([1]), n_vertices=4)
+        p = Partition(np.array([0, 0, 0, 0]))
+        assert min_intracluster_density(g, p) == pytest.approx(1 / 6)
+
+    def test_all_singletons_zero(self, karate):
+        assert min_intracluster_density(karate, Partition.singletons(34)) == 0.0

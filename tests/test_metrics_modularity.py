@@ -1,0 +1,82 @@
+"""Unit tests for modularity (validated against networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, to_networkx
+from repro.metrics import (
+    Partition,
+    community_graph_modularity,
+    modularity,
+)
+
+
+def nx_modularity(graph, partition):
+    g = to_networkx(graph)
+    comms = [
+        set(partition.members(c).tolist())
+        for c in range(partition.n_communities)
+    ]
+    return nx.algorithms.community.modularity(g, comms, weight="weight")
+
+
+class TestModularity:
+    def test_all_in_one_is_zero(self, karate):
+        p = Partition(np.zeros(34, dtype=np.int64))
+        assert modularity(karate, p) == pytest.approx(0.0)
+
+    def test_singletons_negative(self, karate):
+        p = Partition.singletons(34)
+        q = modularity(karate, p)
+        assert q < 0
+
+    def test_two_triangles_ideal_split(self, triangles):
+        p = Partition(np.array([0, 0, 0, 1, 1, 1]))
+        # W=7: Q = 6/7 - 2*(7/14)^2 = 5/14
+        assert modularity(triangles, p) == pytest.approx(5 / 14)
+
+    def test_against_networkx_karate(self, karate):
+        p = Partition.from_labels(
+            np.array([0] * 17 + [1] * 17, dtype=np.int64)
+        )
+        assert modularity(karate, p) == pytest.approx(nx_modularity(karate, p))
+
+    def test_against_networkx_weighted(self, random_graph_factory):
+        g = random_graph_factory(n=20, m=60, seed=11)
+        rng = np.random.default_rng(0)
+        p = Partition.from_labels(rng.integers(0, 4, g.n_vertices))
+        assert modularity(g, p) == pytest.approx(nx_modularity(g, p))
+
+    def test_size_mismatch(self, karate):
+        with pytest.raises(ValueError):
+            modularity(karate, Partition.singletons(3))
+
+    def test_zero_weight_graph(self):
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=3)
+        assert modularity(g, Partition.singletons(3)) == 0.0
+
+    def test_self_weights_count_internal(self):
+        g = from_edges(np.array([0, 1]), np.array([1, 1]))  # loop at 1
+        p = Partition(np.array([0, 1]))
+        q = modularity(g, p)
+        # W=2, internal: c0=0, c1=1 (loop); vol: c0=1, c1=3.
+        expected = (0 / 2 - (1 / 4) ** 2) + (1 / 2 - (3 / 4) ** 2)
+        assert q == pytest.approx(expected)
+
+
+class TestCommunityGraphModularity:
+    def test_matches_partition_modularity(self, karate):
+        """Contract a partition and check the O(|V|) closed form agrees."""
+        from repro.core.contraction import _build_contracted
+
+        labels = np.array([0] * 17 + [1] * 17, dtype=np.int64)
+        p = Partition.from_labels(labels)
+        contracted = _build_contracted(karate, p.labels, 2)
+        assert community_graph_modularity(contracted) == pytest.approx(
+            modularity(karate, p)
+        )
+
+    def test_zero_weight(self):
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=2)
+        assert community_graph_modularity(g) == 0.0

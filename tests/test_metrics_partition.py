@@ -1,0 +1,78 @@
+"""Unit tests for Partition."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import Partition
+
+
+class TestConstruction:
+    def test_dense_labels_ok(self):
+        p = Partition(np.array([0, 1, 0, 2]))
+        assert p.n_communities == 3
+        assert p.n_vertices == 4
+
+    def test_sparse_labels_rejected(self):
+        with pytest.raises(ValueError, match="dense"):
+            Partition(np.array([0, 2]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(np.array([-1, 0]))
+
+    def test_from_labels_renumbers(self):
+        p = Partition.from_labels(np.array([5, 9, 5]))
+        assert p.n_communities == 2
+        np.testing.assert_array_equal(p.labels, [0, 1, 0])
+
+    def test_singletons(self):
+        p = Partition.singletons(4)
+        assert p.n_communities == 4
+
+    def test_empty(self):
+        p = Partition(np.empty(0, dtype=np.int64))
+        assert p.n_communities == 0
+        assert p.n_vertices == 0
+
+
+class TestQueries:
+    def test_sizes(self):
+        p = Partition(np.array([0, 0, 1, 1, 1]))
+        np.testing.assert_array_equal(p.sizes(), [2, 3])
+
+    def test_members(self):
+        p = Partition(np.array([0, 1, 0]))
+        np.testing.assert_array_equal(p.members(0), [0, 2])
+
+    def test_members_out_of_range(self):
+        p = Partition(np.array([0]))
+        with pytest.raises(IndexError):
+            p.members(1)
+
+    def test_restrict_to(self):
+        p = Partition(np.array([0, 1, 1, 2]))
+        r = p.restrict_to(np.array([1, 2, 3]))
+        assert r.n_communities == 2
+        np.testing.assert_array_equal(r.labels, [0, 0, 1])
+
+
+class TestEquality:
+    def test_eq(self):
+        assert Partition(np.array([0, 1])) == Partition(np.array([0, 1]))
+        assert Partition(np.array([0, 1])) != Partition(np.array([0, 0]))
+
+    def test_same_clustering_up_to_renaming(self):
+        a = Partition(np.array([0, 0, 1, 1]))
+        b = Partition(np.array([1, 1, 0, 0]))
+        assert a.same_clustering(b)
+        assert a != b
+
+    def test_different_clustering(self):
+        a = Partition(np.array([0, 0, 1, 1]))
+        b = Partition(np.array([0, 1, 0, 1]))
+        assert not a.same_clustering(b)
+
+    def test_different_sizes(self):
+        a = Partition(np.array([0, 0]))
+        b = Partition(np.array([0, 0, 0]))
+        assert not a.same_clustering(b)

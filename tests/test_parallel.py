@@ -1,0 +1,123 @@
+"""Unit tests for the real-parallel helpers (chunks, primitives, pool)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModularityScorer
+from repro.parallel import (
+    SharedArrayPool,
+    balanced_chunks,
+    chunk_ranges,
+    parallel_edge_scores,
+    prefix_sum,
+    segmented_max_at,
+    segmented_min_at,
+)
+
+
+class TestChunkRanges:
+    def test_even_split(self):
+        assert chunk_ranges(10, 2) == [(0, 5), (5, 10)]
+
+    def test_uneven_split_sizes_differ_by_at_most_one(self):
+        ranges = chunk_ranges(10, 3)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_covers_everything_in_order(self):
+        ranges = chunk_ranges(17, 5)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 17
+        for (a, b), (c, d) in zip(ranges, ranges[1:]):
+            assert b == c
+
+    def test_more_chunks_than_items(self):
+        ranges = chunk_ranges(2, 5)
+        assert len(ranges) == 5
+        assert sum(hi - lo for lo, hi in ranges) == 2
+
+    def test_zero_items(self):
+        assert chunk_ranges(0, 3) == [(0, 0)] * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(5, 0)
+        with pytest.raises(ValueError):
+            chunk_ranges(-1, 2)
+
+
+class TestBalancedChunks:
+    def test_balances_skewed_weights(self):
+        w = np.array([100.0] + [1.0] * 99)
+        ranges = balanced_chunks(w, 2)
+        loads = [w[lo:hi].sum() for lo, hi in ranges]
+        assert loads[0] <= 110  # the hub is isolated in its own chunk
+
+    def test_uniform_weights_like_chunk_ranges(self):
+        w = np.ones(12)
+        ranges = balanced_chunks(w, 3)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert sizes == [4, 4, 4]
+
+    def test_covers_everything(self):
+        rng = np.random.default_rng(0)
+        w = rng.random(50)
+        ranges = balanced_chunks(w, 7)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 50
+        assert sum(hi - lo for lo, hi in ranges) == 50
+
+    def test_empty(self):
+        assert balanced_chunks(np.empty(0), 3) == [(0, 0)] * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            balanced_chunks(np.ones(3), 0)
+        with pytest.raises(ValueError):
+            balanced_chunks(-np.ones(3), 2)
+
+
+class TestPrimitives:
+    def test_segmented_max(self):
+        out = np.full(3, -np.inf)
+        segmented_max_at(out, np.array([0, 1, 0]), np.array([1.0, 2.0, 5.0]))
+        np.testing.assert_array_equal(out, [5.0, 2.0, -np.inf])
+
+    def test_segmented_min(self):
+        out = np.full(2, np.inf)
+        segmented_min_at(out, np.array([0, 0, 1]), np.array([3.0, 1.0, 7.0]))
+        np.testing.assert_array_equal(out, [1.0, 7.0])
+
+    def test_prefix_sum(self):
+        np.testing.assert_array_equal(
+            prefix_sum(np.array([2, 0, 3])), [0, 2, 2, 5]
+        )
+
+    def test_prefix_sum_empty(self):
+        np.testing.assert_array_equal(prefix_sum(np.empty(0, int)), [0])
+
+
+class TestPool:
+    def test_matches_sequential_scorer(self, karate):
+        expected = ModularityScorer().score(karate)
+        got = parallel_edge_scores(karate, n_workers=1)
+        np.testing.assert_allclose(got, expected)
+
+    def test_two_workers(self, karate):
+        expected = ModularityScorer().score(karate)
+        got = parallel_edge_scores(karate, n_workers=2)
+        np.testing.assert_allclose(got, expected)
+
+    def test_empty_graph(self):
+        from repro.graph import from_edges
+
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=3)
+        assert len(parallel_edge_scores(g, n_workers=2)) == 0
+
+    def test_pool_validation(self):
+        with pytest.raises(ValueError):
+            SharedArrayPool(0)
+
+    def test_pool_fallback_serial(self):
+        pool = SharedArrayPool(1)
+        assert not pool.uses_processes

@@ -1,0 +1,61 @@
+"""Unit tests for KernelRecord / TraceRecorder."""
+
+import pytest
+
+from repro.platform import KernelRecord, TraceRecorder
+
+
+class TestKernelRecord:
+    def test_defaults(self):
+        r = KernelRecord(name="k", items=10)
+        assert r.mem_words == 0
+        assert r.contention == 0.0
+        assert r.level == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            KernelRecord(name="k", items=-1)
+        with pytest.raises(ValueError):
+            KernelRecord(name="k", items=1, mem_words=-1)
+
+    def test_contention_range(self):
+        with pytest.raises(ValueError):
+            KernelRecord(name="k", items=1, contention=1.5)
+
+    def test_frozen(self):
+        r = KernelRecord(name="k", items=1)
+        with pytest.raises(AttributeError):
+            r.items = 2  # type: ignore[misc]
+
+
+class TestTraceRecorder:
+    def test_level_stamping(self):
+        rec = TraceRecorder()
+        rec.record(KernelRecord(name="a", items=1))
+        rec.next_level()
+        rec.record(KernelRecord(name="b", items=2))
+        assert rec.records[0].level == 0
+        assert rec.records[1].level == 1
+        assert rec.n_levels == 2
+
+    def test_by_name_and_level(self):
+        rec = TraceRecorder()
+        rec.record(KernelRecord(name="a", items=1))
+        rec.record(KernelRecord(name="b", items=2))
+        rec.next_level()
+        rec.record(KernelRecord(name="a", items=3))
+        assert len(rec.by_name("a")) == 2
+        assert len(rec.by_level(0)) == 2
+        assert len(rec.by_level(1)) == 1
+
+    def test_total_items(self):
+        rec = TraceRecorder()
+        rec.record(KernelRecord(name="a", items=5))
+        rec.record(KernelRecord(name="b", items=7))
+        assert rec.total_items() == 12
+        assert rec.total_items("a") == 5
+
+    def test_empty(self):
+        rec = TraceRecorder()
+        assert rec.n_levels == 0
+        assert rec.total_items() == 0

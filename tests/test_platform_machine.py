@@ -1,0 +1,100 @@
+"""Unit tests for machine models (Table I facts + model validation)."""
+
+import pytest
+
+from repro.errors import PlatformModelError
+from repro.platform import (
+    CRAY_XMT,
+    CRAY_XMT2,
+    INTEL_E7_8870,
+    INTEL_X5650,
+    INTEL_X5570,
+    PLATFORMS,
+    MachineModel,
+    get_machine,
+)
+
+
+class TestTable1Facts:
+    """The architectural facts must match the paper's Table I exactly."""
+
+    def test_xmt(self):
+        assert CRAY_XMT.table1_row() == ("XMT", 128, 100, "500MHz")
+
+    def test_xmt2(self):
+        assert CRAY_XMT2.table1_row() == ("XMT2", 64, 102, "500MHz")
+
+    def test_e7_8870(self):
+        assert INTEL_E7_8870.table1_row() == ("E7-8870", 4, 20, "2.40GHz")
+
+    def test_x5650(self):
+        assert INTEL_X5650.table1_row() == ("X5650", 2, 12, "2.66GHz")
+
+    def test_x5570(self):
+        assert INTEL_X5570.table1_row() == ("X5570", 2, 8, "2.93GHz")
+
+    def test_physical_core_counts(self):
+        assert INTEL_E7_8870.physical_cores == 40
+        assert INTEL_X5650.physical_cores == 12
+        assert INTEL_X5570.physical_cores == 8
+
+
+class TestParallelismLimits:
+    def test_xmt_allocates_processors(self):
+        assert CRAY_XMT.max_parallelism == 128
+        assert CRAY_XMT.allocation_unit == "processors"
+
+    def test_intel_allocates_logical_threads(self):
+        assert INTEL_E7_8870.max_parallelism == 80
+        assert INTEL_X5650.max_parallelism == 24
+        assert INTEL_X5570.max_parallelism == 16
+        assert INTEL_E7_8870.allocation_unit == "threads"
+
+    def test_check_parallelism(self):
+        CRAY_XMT2.check_parallelism(64)
+        with pytest.raises(PlatformModelError):
+            CRAY_XMT2.check_parallelism(65)
+        with pytest.raises(PlatformModelError):
+            CRAY_XMT2.check_parallelism(0)
+
+
+class TestRegistry:
+    def test_all_five_registered(self):
+        assert set(PLATFORMS) == {"XMT", "XMT2", "E7-8870", "X5650", "X5570"}
+
+    def test_get_machine(self):
+        assert get_machine("XMT") is CRAY_XMT
+
+    def test_unknown_platform(self):
+        with pytest.raises(PlatformModelError, match="unknown platform"):
+            get_machine("M1-Max")
+
+
+class TestValidation:
+    def _base(self, **kw):
+        args = dict(
+            name="t", kind="openmp", clock_hz=1e9, n_processors=1,
+            threads_per_processor=2, physical_cores=1, ht_yield=0.5,
+            cpi=1.0, words_per_sec_per_thread=1e8,
+            total_bandwidth_words=1e9, atomic_cycles=1.0,
+            contended_cycles=10.0, chain_latency_s=1e-7,
+            loop_overhead_s=1e-6,
+        )
+        args.update(kw)
+        return MachineModel(**args)
+
+    def test_bad_kind(self):
+        with pytest.raises(PlatformModelError):
+            self._base(kind="gpu")
+
+    def test_bad_clock(self):
+        with pytest.raises(PlatformModelError):
+            self._base(clock_hz=0)
+
+    def test_bad_ht_yield(self):
+        with pytest.raises(PlatformModelError):
+            self._base(ht_yield=1.5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CRAY_XMT.cpi = 1.0  # type: ignore[misc]

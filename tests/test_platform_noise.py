@@ -1,0 +1,36 @@
+"""Unit tests for the run-variation model."""
+
+import numpy as np
+
+from repro.platform import CRAY_XMT2, INTEL_E7_8870, run_variation
+
+
+class TestRunVariation:
+    def test_deterministic(self):
+        assert run_variation(CRAY_XMT2, 8, 123) == run_variation(
+            CRAY_XMT2, 8, 123
+        )
+
+    def test_varies_with_entropy(self):
+        vals = {run_variation(CRAY_XMT2, 8, e) for e in range(20)}
+        assert len(vals) > 10
+
+    def test_varies_with_platform(self):
+        assert run_variation(CRAY_XMT2, 8, 1) != run_variation(
+            INTEL_E7_8870, 8, 1
+        )
+
+    def test_bounded(self):
+        for e in range(200):
+            v = run_variation(CRAY_XMT2, 64, e)
+            assert 0.8 <= v <= 1.3
+
+    def test_near_unity_mean(self):
+        vals = [run_variation(INTEL_E7_8870, 4, e) for e in range(500)]
+        assert abs(np.mean(vals) - 1.0) < 0.02
+
+    def test_xmt2_spread_larger(self):
+        """§V-C: the XMT2 shows visibly larger run-to-run variation."""
+        xmt2 = np.std([run_variation(CRAY_XMT2, 32, e) for e in range(500)])
+        e7 = np.std([run_variation(INTEL_E7_8870, 32, e) for e in range(500)])
+        assert xmt2 > 2 * e7

@@ -1,0 +1,159 @@
+"""Unit tests for the execution-time simulator: monotonicity, the paper's
+qualitative platform contrasts, and the sweep API."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlatformModelError
+from repro.platform import (
+    CRAY_XMT,
+    CRAY_XMT2,
+    INTEL_E7_8870,
+    INTEL_X5570,
+    KernelRecord,
+    simulate_sweep,
+    simulate_time,
+)
+
+
+def big_loop(items=1_000_000, **kw):
+    defaults = dict(name="k", items=items, mem_words=5 * items)
+    defaults.update(kw)
+    return KernelRecord(**defaults)
+
+
+class TestBasics:
+    def test_positive_time(self):
+        bd = simulate_time([big_loop()], INTEL_E7_8870, 1)
+        assert bd.total > 0
+
+    def test_kernel_breakdown_sums(self):
+        recs = [big_loop(name="a"), big_loop(name="b")]
+        bd = simulate_time(recs, INTEL_E7_8870, 4)
+        assert bd.total == pytest.approx(sum(bd.by_kernel.values()))
+        assert bd.fraction("a") + bd.fraction("b") == pytest.approx(1.0)
+
+    def test_fraction_prefix(self):
+        recs = [big_loop(name="contract_sort"), big_loop(name="score")]
+        bd = simulate_time(recs, INTEL_E7_8870, 4)
+        assert bd.fraction_prefix("contract") == pytest.approx(
+            bd.fraction("contract_sort")
+        )
+
+    def test_parallelism_validated(self):
+        with pytest.raises(PlatformModelError):
+            simulate_time([big_loop()], INTEL_X5570, 17)
+
+    def test_empty_trace(self):
+        bd = simulate_time([], INTEL_E7_8870, 4)
+        assert bd.total == 0.0
+
+
+class TestScalingShape:
+    def test_intel_time_decreases_with_threads(self):
+        recs = [big_loop()]
+        times = [
+            simulate_time(recs, INTEL_E7_8870, p).total for p in (1, 2, 4, 8)
+        ]
+        assert all(b < a for a, b in zip(times, times[1:]))
+
+    def test_intel_hyperthreads_help_less_than_physical(self):
+        recs = [big_loop(items=10_000_000, mem_words=0)]
+        t20 = simulate_time(recs, INTEL_E7_8870, 20).total
+        t40 = simulate_time(recs, INTEL_E7_8870, 40).total
+        t80 = simulate_time(recs, INTEL_E7_8870, 80).total
+        gain_physical = t20 / t40
+        gain_ht = t40 / t80
+        assert gain_physical > gain_ht > 1.0
+
+    def test_intel_bandwidth_ceiling(self):
+        # A purely memory-bound loop saturates; compute-bound keeps scaling.
+        mem = [KernelRecord(name="m", items=1, mem_words=10_000_000)]
+        t40 = simulate_time(mem, INTEL_E7_8870, 40).total
+        t80 = simulate_time(mem, INTEL_E7_8870, 80).total
+        assert t80 >= t40 * 0.99
+
+    def test_xmt_small_loop_stops_scaling(self):
+        # Fewer items than one processor's saturation point: no speedup.
+        small = [KernelRecord(name="s", items=1000, mem_words=5000)]
+        t1 = simulate_time(small, CRAY_XMT2, 1).total
+        t64 = simulate_time(small, CRAY_XMT2, 64).total
+        assert t64 >= t1 * 0.5  # little to no gain
+
+    def test_xmt_large_loop_scales(self):
+        large = [big_loop(items=20_000_000, mem_words=0)]
+        t1 = simulate_time(large, CRAY_XMT2, 1).total
+        t64 = simulate_time(large, CRAY_XMT2, 64).total
+        assert t1 / t64 > 20
+
+    def test_xmt2_faster_than_xmt(self):
+        recs = [big_loop()]
+        t_xmt = simulate_time(recs, CRAY_XMT, 64).total
+        t_xmt2 = simulate_time(recs, CRAY_XMT2, 64).total
+        assert t_xmt2 < t_xmt
+
+    def test_intel_single_thread_beats_xmt_single_proc(self):
+        recs = [big_loop()]
+        assert (
+            simulate_time(recs, INTEL_E7_8870, 1).total
+            < simulate_time(recs, CRAY_XMT, 1).total
+        )
+
+
+class TestContentionModel:
+    def test_hot_contention_cripples_openmp_not_xmt(self):
+        hot = [
+            big_loop(atomics=2_000_000, contention=0.95),
+        ]
+        cold = [big_loop(atomics=2_000_000, contention=0.05)]
+        e7_hot = simulate_time(hot, INTEL_E7_8870, 40).total
+        e7_cold = simulate_time(cold, INTEL_E7_8870, 40).total
+        xmt_hot = simulate_time(hot, CRAY_XMT, 64).total
+        xmt_cold = simulate_time(cold, CRAY_XMT, 64).total
+        assert e7_hot / e7_cold > 5 * (xmt_hot / xmt_cold)
+
+    def test_openmp_hot_contention_worsens_with_cores(self):
+        hot = [big_loop(atomics=2_000_000, contention=0.95, mem_words=0)]
+        t4 = simulate_time(hot, INTEL_E7_8870, 4).total
+        t40 = simulate_time(hot, INTEL_E7_8870, 40).total
+        assert t40 > t4  # adding cores makes it slower
+
+    def test_chain_ops_hurt_openmp_only(self):
+        chains = [big_loop(mem_words=0, chain_ops=1_000_000)]
+        plain = [big_loop(mem_words=0)]
+        e7_ratio = (
+            simulate_time(chains, INTEL_E7_8870, 40).total
+            / simulate_time(plain, INTEL_E7_8870, 40).total
+        )
+        xmt_ratio = (
+            simulate_time(chains, CRAY_XMT, 64).total
+            / simulate_time(plain, CRAY_XMT, 64).total
+        )
+        assert e7_ratio > 5.0
+        assert xmt_ratio < 2.5
+
+
+class TestSweep:
+    def test_default_points(self):
+        sweep = simulate_sweep([big_loop()], CRAY_XMT2, n_runs=3, seed=0)
+        assert 1 in sweep and 64 in sweep
+        assert all(len(ts) == 3 for ts in sweep.values())
+
+    def test_explicit_points(self):
+        sweep = simulate_sweep(
+            [big_loop()], INTEL_X5570, [1, 2, 16], n_runs=2, seed=0
+        )
+        assert set(sweep) == {1, 2, 16}
+
+    def test_noise_reproducible(self):
+        a = simulate_sweep([big_loop()], CRAY_XMT2, [1, 8], seed=5)
+        b = simulate_sweep([big_loop()], CRAY_XMT2, [1, 8], seed=5)
+        assert a == b
+
+    def test_noise_varies_runs(self):
+        sweep = simulate_sweep([big_loop()], CRAY_XMT2, [8], n_runs=3, seed=1)
+        assert len(set(sweep[8])) > 1
+
+    def test_n_runs_validated(self):
+        with pytest.raises(ValueError):
+            simulate_sweep([big_loop()], CRAY_XMT2, [1], n_runs=0)

@@ -1,0 +1,75 @@
+"""Unit tests for utilization profiling (§V-C's monitoring observation)."""
+
+import pytest
+
+from repro.bench import load_dataset, run_with_trace
+from repro.errors import PlatformModelError
+from repro.platform import (
+    CRAY_XMT,
+    INTEL_E7_8870,
+    KernelRecord,
+    mean_utilization,
+    utilization_profile,
+)
+
+
+def rec(items, name="k"):
+    return KernelRecord(name=name, items=items, mem_words=items)
+
+
+class TestUtilizationProfile:
+    def test_openmp_always_full(self):
+        # Intel threads are explicitly scheduled: full utilization.
+        profile = utilization_profile([rec(10), rec(10_000_000)], INTEL_E7_8870, 40)
+        assert all(k.utilization == 1.0 for k in profile)
+
+    def test_xmt_small_loop_poor_utilization(self):
+        profile = utilization_profile([rec(1000)], CRAY_XMT, 64)
+        assert profile[0].utilization < 0.05
+
+    def test_xmt_big_loop_full_utilization(self):
+        profile = utilization_profile([rec(100_000_000)], CRAY_XMT, 64)
+        assert profile[0].utilization == 1.0
+
+    def test_profile_fields(self):
+        profile = utilization_profile([rec(5, name="score")], CRAY_XMT, 2)
+        k = profile[0]
+        assert k.name == "score"
+        assert k.items == 5
+        assert k.seconds > 0
+
+    def test_allocation_validated(self):
+        with pytest.raises(PlatformModelError):
+            utilization_profile([rec(5)], CRAY_XMT, 500)
+
+
+class TestMeanUtilization:
+    def test_bounds(self):
+        u = mean_utilization([rec(100), rec(10**8)], CRAY_XMT, 64)
+        assert 0.0 < u <= 1.0
+
+    def test_empty_trace(self):
+        assert mean_utilization([], CRAY_XMT, 64) == 1.0
+
+    def test_small_graph_underutilizes_xmt(self):
+        """§V-C: small real graphs leave XMT processors starved while the
+        big crawl keeps them busy."""
+        lj = run_with_trace(
+            load_dataset("soc-LiveJournal1", scale=0.5, seed=1),
+            graph_name="lj",
+        )
+        uk = run_with_trace(
+            load_dataset("uk-2007-05", scale=0.25, seed=1), graph_name="uk"
+        )
+        u_lj = mean_utilization(lj.recorder.records, CRAY_XMT, 64)
+        u_uk = mean_utilization(uk.recorder.records, CRAY_XMT, 64)
+        assert u_uk > 2 * u_lj
+
+    def test_utilization_decreases_with_allocation(self):
+        lj = run_with_trace(
+            load_dataset("soc-LiveJournal1", scale=0.5, seed=1),
+            graph_name="lj",
+        )
+        u8 = mean_utilization(lj.recorder.records, CRAY_XMT, 8)
+        u64 = mean_utilization(lj.recorder.records, CRAY_XMT, 64)
+        assert u64 < u8

@@ -1,0 +1,76 @@
+"""Unit tests for what-if machine variants."""
+
+import pytest
+
+from repro.errors import PlatformModelError
+from repro.platform import CRAY_XMT, INTEL_E7_8870, KernelRecord, simulate_time
+from repro.platform.whatif import scale_bandwidth, scale_clock, single_socket
+
+
+def big_loop():
+    return [KernelRecord(name="k", items=10**6, mem_words=5 * 10**6)]
+
+
+class TestSingleSocket:
+    def test_scales_cores_and_bandwidth(self):
+        one = single_socket(INTEL_E7_8870)
+        assert one.n_processors == 1
+        assert one.physical_cores == 10
+        assert one.max_parallelism == 20
+        assert one.total_bandwidth_words == pytest.approx(
+            INTEL_E7_8870.total_bandwidth_words / 4
+        )
+
+    def test_two_sockets(self):
+        two = single_socket(INTEL_E7_8870, sockets=2)
+        assert two.physical_cores == 20
+
+    def test_slower_than_full_machine(self):
+        one = single_socket(INTEL_E7_8870)
+        t_one = simulate_time(big_loop(), one, one.max_parallelism).total
+        t_full = simulate_time(
+            big_loop(), INTEL_E7_8870, INTEL_E7_8870.max_parallelism
+        ).total
+        assert t_one > t_full
+
+    def test_rejects_xmt(self):
+        with pytest.raises(PlatformModelError):
+            single_socket(CRAY_XMT)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(PlatformModelError):
+            single_socket(INTEL_E7_8870, sockets=5)
+
+
+class TestScaling:
+    def test_bandwidth_speeds_memory_bound_work(self):
+        fast = scale_bandwidth(INTEL_E7_8870, 2.0)
+        t_base = simulate_time(big_loop(), INTEL_E7_8870, 40).total
+        t_fast = simulate_time(big_loop(), fast, 40).total
+        assert t_fast < t_base
+
+    def test_xmt2_is_roughly_a_bandwidth_scaled_xmt(self):
+        """The paper attributes the XMT2's gain to memory bandwidth; the
+        model agrees: bandwidth-scaling the XMT covers most of the gap."""
+        from repro.platform import CRAY_XMT2
+
+        boosted = scale_bandwidth(CRAY_XMT, 3.0)
+        t_boost = simulate_time(big_loop(), boosted, 64).total
+        t_xmt2 = simulate_time(big_loop(), CRAY_XMT2, 64).total
+        t_xmt = simulate_time(big_loop(), CRAY_XMT, 64).total
+        assert t_boost < t_xmt
+        assert t_boost < 3 * t_xmt2
+
+    def test_clock_speeds_compute_bound_work(self):
+        compute = [KernelRecord(name="k", items=10**7)]
+        fast = scale_clock(INTEL_E7_8870, 2.0)
+        assert (
+            simulate_time(compute, fast, 8).total
+            < simulate_time(compute, INTEL_E7_8870, 8).total
+        )
+
+    def test_validation(self):
+        with pytest.raises(PlatformModelError):
+            scale_bandwidth(INTEL_E7_8870, 0)
+        with pytest.raises(PlatformModelError):
+            scale_clock(INTEL_E7_8870, -1)

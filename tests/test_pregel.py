@@ -1,0 +1,178 @@
+"""Unit tests for the Pregel-style BSP substrate and its vertex programs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.core import match_locally_dominant
+from repro.generators import path_graph, ring_of_cliques, star_graph, two_triangles
+from repro.graph import from_edges
+from repro.metrics import Partition
+from repro.pregel import (
+    ComponentsProgram,
+    LabelPropagationProgram,
+    MatchingProgram,
+    PregelEngine,
+)
+from repro.types import NO_VERTEX
+
+
+class TestEngine:
+    def test_quiesces_immediately_on_silent_program(self):
+        class Noop:
+            def init(self, vertex, graph):
+                return None
+
+            def compute(self, ctx, messages):
+                ctx.vote_to_halt()
+
+        g = path_graph(4)
+        engine = PregelEngine(g)
+        engine.run(Noop())
+        assert engine.n_supersteps <= 2
+        assert engine.total_messages() == 0
+
+    def test_superstep_budget_enforced(self):
+        class Chatter:
+            def init(self, vertex, graph):
+                return None
+
+            def compute(self, ctx, messages):
+                ctx.send_to_neighbors("hi")  # never stops talking
+
+        with pytest.raises(ConvergenceError):
+            PregelEngine(path_graph(3)).run(Chatter(), max_supersteps=5)
+
+    def test_stats_recorded(self):
+        g = path_graph(5)
+        engine = PregelEngine(g)
+        engine.run(ComponentsProgram())
+        assert engine.stats[0].active_vertices == 5
+        assert engine.total_messages() > 0
+        assert all(s.superstep == k for k, s in enumerate(engine.stats))
+
+    def test_message_delivery_next_superstep(self):
+        log = []
+
+        class Probe:
+            def init(self, vertex, graph):
+                return None
+
+            def compute(self, ctx, messages):
+                log.append((ctx.superstep, ctx.vertex, sorted(messages)))
+                if ctx.superstep == 0 and ctx.vertex == 0:
+                    ctx.send(1, "x")
+                ctx.vote_to_halt()
+
+        PregelEngine(path_graph(2)).run(Probe())
+        assert (0, 1, []) in log
+        assert (1, 1, ["x"]) in log
+
+
+class TestComponents:
+    def test_path(self):
+        engine = PregelEngine(path_graph(6))
+        labels = engine.run(ComponentsProgram())
+        assert set(labels) == {0}
+
+    def test_disconnected(self):
+        g = from_edges(np.array([0, 2]), np.array([1, 3]), n_vertices=5)
+        labels = PregelEngine(g).run(ComponentsProgram())
+        assert labels[0] == labels[1] == 0
+        assert labels[2] == labels[3] == 2
+        assert labels[4] == 4
+
+    def test_matches_array_kernel(self, random_graph_factory):
+        from repro.graph import connected_components
+
+        g = random_graph_factory(n=30, m=40, seed=5)
+        pregel_labels = PregelEngine(g).run(ComponentsProgram())
+        ref, k = connected_components(g.n_vertices, g.edges.ei, g.edges.ej)
+        # Same partition up to renaming.
+        pairs = set(zip(pregel_labels, ref.tolist()))
+        assert len(pairs) == k
+
+    def test_supersteps_bounded_by_diameter(self):
+        g = path_graph(20)
+        engine = PregelEngine(g)
+        engine.run(ComponentsProgram())
+        assert engine.n_supersteps <= 25
+
+
+class TestLabelPropagation:
+    def test_cliques_converge_to_one_label_each(self):
+        g = ring_of_cliques(4, 5)
+        engine = PregelEngine(g)
+        states = engine.run(LabelPropagationProgram(g), max_supersteps=100)
+        labels = [s["label"] for s in states]
+        for c in range(4):
+            block = labels[c * 5 : (c + 1) * 5]
+            assert len(set(block)) == 1
+
+    def test_single_edge_no_oscillation(self):
+        g = path_graph(2)
+        engine = PregelEngine(g)
+        states = engine.run(LabelPropagationProgram(g), max_supersteps=50)
+        labels = [s["label"] for s in states]
+        assert labels[0] == labels[1]
+
+    def test_two_triangles(self):
+        g = two_triangles()
+        states = PregelEngine(g).run(
+            LabelPropagationProgram(g), max_supersteps=100
+        )
+        labels = [s["label"] for s in states]
+        assert len(set(labels[:3])) == 1
+        assert len(set(labels[3:])) == 1
+
+
+class TestMatching:
+    def _run(self, g):
+        states = PregelEngine(g).run(MatchingProgram(), max_supersteps=400)
+        partner = np.full(g.n_vertices, NO_VERTEX, dtype=np.int64)
+        for v, s in enumerate(states):
+            if s["status"] == "matched":
+                partner[v] = s["partner"]
+        return partner
+
+    def test_single_edge(self):
+        g = path_graph(2)
+        partner = self._run(g)
+        assert partner[0] == 1 and partner[1] == 0
+
+    def test_valid_involution(self, random_graph_factory):
+        g = random_graph_factory(n=25, m=60, seed=2)
+        partner = self._run(g)
+        matched = np.flatnonzero(partner != NO_VERTEX)
+        np.testing.assert_array_equal(partner[partner[matched]], matched)
+
+    def test_maximal(self, random_graph_factory):
+        for seed in range(4):
+            g = random_graph_factory(n=20, m=50, seed=seed)
+            partner = self._run(g)
+            e = g.edges
+            free_i = partner[e.ei] == NO_VERTEX
+            free_j = partner[e.ej] == NO_VERTEX
+            assert not np.any(free_i & free_j)
+
+    def test_star_matches_one_pair(self):
+        g = star_graph(8)
+        partner = self._run(g)
+        assert np.count_nonzero(partner != NO_VERTEX) == 2
+        assert partner[0] != NO_VERTEX  # hub always matched
+
+    def test_heavy_edge_preferred(self):
+        # Path 0-1-2 with weights 1, 9: the heavy edge must win.
+        g = from_edges(np.array([0, 1]), np.array([1, 2]), np.array([1.0, 9.0]))
+        partner = self._run(g)
+        assert partner[1] == 2 and partner[2] == 1
+        assert partner[0] == NO_VERTEX
+
+    def test_same_weight_as_array_kernel_on_path(self):
+        # Deterministic total orders differ, but the matching weight of
+        # locally-dominant matchings on a uniform path is the same class.
+        g = path_graph(10)
+        partner = self._run(g)
+        n_pregel = np.count_nonzero(partner != NO_VERTEX) // 2
+        res = match_locally_dominant(g, g.edges.w.astype(float))
+        assert n_pregel >= res.n_pairs // 2 > 0

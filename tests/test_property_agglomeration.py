@@ -1,0 +1,81 @@
+"""Property-based tests for the full agglomeration driver."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import TerminationCriteria, detect_communities, modularity
+from repro.graph import from_edges
+from repro.metrics import coverage
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(2, 25))
+    m = draw(st.integers(1, 70))
+    i = draw(hnp.arrays(np.int64, m, elements=st.integers(0, n - 1)))
+    j = draw(hnp.arrays(np.int64, m, elements=st.integers(0, n - 1)))
+    w = draw(
+        hnp.arrays(np.float64, m, elements=st.floats(0.5, 5.0, allow_nan=False))
+    )
+    return from_edges(i, j, w, n_vertices=n)
+
+
+class TestDriverProperties:
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_levels_modularity_monotone(self, g):
+        res = detect_communities(
+            g, termination=TerminationCriteria.local_maximum()
+        )
+        qs = [s.modularity_after for s in res.levels]
+        assert all(b >= a - 1e-9 for a, b in zip(qs, qs[1:]))
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_final_graph_consistent_with_partition(self, g):
+        res = detect_communities(
+            g, termination=TerminationCriteria.local_maximum()
+        )
+        assert res.final_graph.n_vertices == res.n_communities
+        assert abs(
+            res.final_graph.coverage() - coverage(g, res.partition)
+        ) < 1e-9
+        assert abs(
+            res.final_graph.total_weight() - g.total_weight()
+        ) < 1e-6 * max(1.0, g.total_weight())
+
+    @given(graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_nonnegative_final_modularity_vs_singletons(self, g):
+        """Each merge strictly improves modularity, so the result is at
+        least as good as the all-singletons start."""
+        res = detect_communities(
+            g, termination=TerminationCriteria.local_maximum()
+        )
+        from repro.metrics import Partition
+
+        q_single = modularity(g, Partition.singletons(g.n_vertices))
+        q_final = modularity(g, res.partition)
+        assert q_final >= q_single - 1e-9
+
+    @given(graphs(), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_min_communities_respected(self, g, k):
+        res = detect_communities(
+            g,
+            termination=TerminationCriteria(coverage=None, min_communities=k),
+        )
+        assert res.n_communities >= min(k, g.n_vertices)
+
+    @given(graphs(), st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_max_community_size_respected(self, g, cap):
+        res = detect_communities(
+            g,
+            termination=TerminationCriteria(
+                coverage=None, max_community_size=cap
+            ),
+        )
+        assert res.partition.sizes().max() <= cap

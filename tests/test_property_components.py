@@ -1,0 +1,50 @@
+"""Property-based tests for connected components vs scipy's reference."""
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.graph import connected_components
+
+
+@st.composite
+def edge_sets(draw):
+    n = draw(st.integers(1, 60))
+    m = draw(st.integers(0, 120))
+    ei = draw(hnp.arrays(np.int64, m, elements=st.integers(0, n - 1)))
+    ej = draw(hnp.arrays(np.int64, m, elements=st.integers(0, n - 1)))
+    return n, ei, ej
+
+
+class TestComponentsProperties:
+    @given(edge_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_scipy(self, args):
+        n, ei, ej = args
+        labels, k = connected_components(n, ei, ej)
+        if len(ei):
+            mat = sp.coo_matrix((np.ones(len(ei)), (ei, ej)), shape=(n, n))
+            k_ref, labels_ref = csgraph.connected_components(mat, directed=False)
+        else:
+            k_ref, labels_ref = n, np.arange(n)
+        assert k == k_ref
+        pairs = set(zip(labels.tolist(), list(labels_ref)))
+        assert len(pairs) == k
+
+    @given(edge_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_endpoints_always_agree(self, args):
+        n, ei, ej = args
+        labels, _ = connected_components(n, ei, ej)
+        np.testing.assert_array_equal(labels[ei], labels[ej])
+
+    @given(edge_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_labels_dense(self, args):
+        n, ei, ej = args
+        labels, k = connected_components(n, ei, ej)
+        if n:
+            assert set(np.unique(labels)) == set(range(k))

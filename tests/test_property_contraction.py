@@ -1,0 +1,84 @@
+"""Property-based tests for contraction: weight conservation, modularity
+delta exactness, and dendrogram/partition consistency."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    ModularityScorer,
+    contract,
+    contract_hash_chains,
+    match_locally_dominant,
+)
+from repro.graph import from_edges
+from repro.metrics import Partition, community_graph_modularity, modularity
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(2, 30))
+    m = draw(st.integers(1, 90))
+    i = draw(hnp.arrays(np.int64, m, elements=st.integers(0, n - 1)))
+    j = draw(hnp.arrays(np.int64, m, elements=st.integers(0, n - 1)))
+    w = draw(
+        hnp.arrays(np.float64, m, elements=st.floats(0.5, 10.0, allow_nan=False))
+    )
+    return from_edges(i, j, w, n_vertices=n)
+
+
+class TestContractionProperties:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_weight_conserved_and_valid(self, g):
+        scores = ModularityScorer().score(g)
+        matching = match_locally_dominant(g, scores)
+        new, mapping = contract(g, matching)
+        new.validate()
+        assert abs(new.total_weight() - g.total_weight()) < 1e-6 * max(
+            1.0, g.total_weight()
+        )
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_modularity_delta_exact(self, g):
+        scores = ModularityScorer().score(g)
+        matching = match_locally_dominant(g, scores)
+        before = community_graph_modularity(g)
+        new, _ = contract(g, matching)
+        after = community_graph_modularity(new)
+        gained = float(scores[matching.matched_edges].sum())
+        assert abs((after - before) - gained) < 1e-9
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_hash_chain_equivalence(self, g):
+        scores = ModularityScorer().score(g)
+        matching = match_locally_dominant(g, scores)
+        a, map_a = contract(g, matching)
+        b, map_b = contract_hash_chains(g, matching)
+        np.testing.assert_array_equal(map_a, map_b)
+        np.testing.assert_array_equal(a.edges.w, b.edges.w)
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_contracted_modularity_matches_partition_view(self, g):
+        """Closed-form modularity of the contracted graph must equal the
+        partition modularity on the original graph."""
+        scores = ModularityScorer().score(g)
+        matching = match_locally_dominant(g, scores)
+        new, mapping = contract(g, matching)
+        p = Partition.from_labels(mapping)
+        assert abs(
+            community_graph_modularity(new) - modularity(g, p)
+        ) < 1e-9
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_vertex_count_arithmetic(self, g):
+        scores = ModularityScorer().score(g)
+        matching = match_locally_dominant(g, scores)
+        new, mapping = contract(g, matching)
+        assert new.n_vertices == g.n_vertices - matching.n_pairs
+        assert mapping.max() == new.n_vertices - 1

@@ -1,0 +1,91 @@
+"""Property-based round-trip and fuzz tests for graph I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    from_edges,
+    load_npz,
+    read_edgelist,
+    read_metis,
+    save_npz,
+    write_edgelist,
+    write_metis,
+)
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(1, 20))
+    m = draw(st.integers(0, 40))
+    i = draw(hnp.arrays(np.int64, m, elements=st.integers(0, n - 1)))
+    j = draw(hnp.arrays(np.int64, m, elements=st.integers(0, n - 1)))
+    # Exactly representable weights so text round-trips are lossless.
+    w = draw(
+        hnp.arrays(np.float64, m, elements=st.integers(1, 64).map(float))
+    )
+    return from_edges(i, j, w, n_vertices=n)
+
+
+class TestRoundtripProperties:
+    @given(g=graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_edgelist_roundtrip(self, g, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "g.txt"
+        write_edgelist(g, path)
+        back = read_edgelist(path)
+        assert back.n_edges == g.n_edges
+        assert back.total_weight() == pytest.approx(g.total_weight())
+        np.testing.assert_array_equal(back.edges.ei, g.edges.ei)
+        np.testing.assert_array_equal(back.edges.ej, g.edges.ej)
+        np.testing.assert_array_equal(back.edges.w, g.edges.w)
+
+    @given(g=graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_metis_roundtrip(self, g, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "g.metis"
+        write_metis(g, path)
+        back = read_metis(path)
+        assert back.n_vertices == g.n_vertices
+        assert back.n_edges == g.n_edges
+        np.testing.assert_array_equal(back.edges.w, g.edges.w)
+
+    @given(g=graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_npz_roundtrip_exact(self, g, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "g.npz"
+        save_npz(g, path)
+        back = load_npz(path)
+        np.testing.assert_array_equal(back.edges.ei, g.edges.ei)
+        np.testing.assert_array_equal(back.edges.w, g.edges.w)
+        np.testing.assert_array_equal(back.self_weights, g.self_weights)
+
+
+class TestFuzzReaders:
+    """Malformed text must raise GraphFormatError, never crash oddly."""
+
+    @given(text=st.text(alphabet="0123456789 \t\n.-#%abc", max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_edgelist_fuzz(self, text, tmp_path_factory):
+        path = tmp_path_factory.mktemp("fuzz") / "g.txt"
+        path.write_text(text)
+        try:
+            g = read_edgelist(path)
+            g.validate()  # anything accepted must be a valid graph
+        except GraphFormatError:
+            pass
+
+    @given(text=st.text(alphabet="0123456789 \n%", max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_metis_fuzz(self, text, tmp_path_factory):
+        path = tmp_path_factory.mktemp("fuzz") / "g.metis"
+        path.write_text(text)
+        try:
+            g = read_metis(path)
+            g.validate()
+        except (GraphFormatError, ValueError):
+            pass

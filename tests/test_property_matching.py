@@ -1,0 +1,92 @@
+"""Property-based tests for the matching kernel: validity, maximality and
+the 1/2-approximation guarantee on random graphs and scores."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    is_maximal_matching,
+    match_full_sweep,
+    match_locally_dominant,
+    matching_weight,
+)
+from repro.graph import from_edges
+from repro.types import NO_VERTEX
+
+
+@st.composite
+def graph_with_scores(draw):
+    n = draw(st.integers(2, 30))
+    m = draw(st.integers(1, 90))
+    i = draw(hnp.arrays(np.int64, m, elements=st.integers(0, n - 1)))
+    j = draw(hnp.arrays(np.int64, m, elements=st.integers(0, n - 1)))
+    g = from_edges(i, j, None, n_vertices=n)
+    scores = draw(
+        hnp.arrays(
+            np.float64,
+            g.n_edges,
+            elements=st.floats(-2.0, 2.0, allow_nan=False),
+        )
+    )
+    return g, scores
+
+
+class TestMatchingProperties:
+    @given(graph_with_scores())
+    @settings(max_examples=80, deadline=None)
+    def test_valid_and_maximal(self, args):
+        g, scores = args
+        res = match_locally_dominant(g, scores)
+        assert is_maximal_matching(g, scores, res)
+
+    @given(graph_with_scores())
+    @settings(max_examples=60, deadline=None)
+    def test_matched_scores_positive(self, args):
+        g, scores = args
+        res = match_locally_dominant(g, scores)
+        assert np.all(scores[res.matched_edges] > 0)
+
+    @given(graph_with_scores())
+    @settings(max_examples=60, deadline=None)
+    def test_partner_involution(self, args):
+        g, scores = args
+        res = match_locally_dominant(g, scores)
+        matched = np.flatnonzero(res.partner != NO_VERTEX)
+        np.testing.assert_array_equal(
+            res.partner[res.partner[matched]], matched
+        )
+
+    @given(graph_with_scores())
+    @settings(max_examples=40, deadline=None)
+    def test_legacy_sweep_identical(self, args):
+        g, scores = args
+        a = match_locally_dominant(g, scores)
+        b = match_full_sweep(g, scores)
+        np.testing.assert_array_equal(a.partner, b.partner)
+
+    @given(graph_with_scores())
+    @settings(max_examples=30, deadline=None)
+    def test_half_approximation_vs_networkx(self, args):
+        import networkx as nx
+
+        g, scores = args
+        res = match_locally_dominant(g, scores)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.n_vertices))
+        e = g.edges
+        for k in range(e.n_edges):
+            if scores[k] > 0:
+                nxg.add_edge(int(e.ei[k]), int(e.ej[k]), weight=float(scores[k]))
+        opt = nx.max_weight_matching(nxg)
+        opt_weight = sum(nxg[u][v]["weight"] for u, v in opt)
+        assert matching_weight(scores, res) >= 0.5 * opt_weight - 1e-9
+
+    @given(graph_with_scores())
+    @settings(max_examples=40, deadline=None)
+    def test_pass_budget_reasonable(self, args):
+        g, scores = args
+        res = match_locally_dominant(g, scores)
+        # Hashed priorities keep passes near-logarithmic; allow slack.
+        assert res.passes <= g.n_vertices

@@ -1,0 +1,81 @@
+"""Property-based tests for the metrics layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.graph import from_edges
+from repro.metrics import (
+    Partition,
+    adjusted_rand_index,
+    conductances,
+    coverage,
+    modularity,
+    normalized_mutual_information,
+)
+
+
+@st.composite
+def graph_and_partition(draw):
+    n = draw(st.integers(2, 25))
+    m = draw(st.integers(1, 60))
+    i = draw(hnp.arrays(np.int64, m, elements=st.integers(0, n - 1)))
+    j = draw(hnp.arrays(np.int64, m, elements=st.integers(0, n - 1)))
+    g = from_edges(i, j, None, n_vertices=n)
+    labels = draw(hnp.arrays(np.int64, n, elements=st.integers(0, 5)))
+    return g, Partition.from_labels(labels)
+
+
+@st.composite
+def partition_pair(draw):
+    n = draw(st.integers(1, 40))
+    a = draw(hnp.arrays(np.int64, n, elements=st.integers(0, 6)))
+    b = draw(hnp.arrays(np.int64, n, elements=st.integers(0, 6)))
+    return Partition.from_labels(a), Partition.from_labels(b)
+
+
+class TestMetricProperties:
+    @given(graph_and_partition())
+    @settings(max_examples=60, deadline=None)
+    def test_modularity_bounded(self, args):
+        g, p = args
+        q = modularity(g, p)
+        assert -1.0 - 1e-9 <= q <= 1.0 + 1e-9
+
+    @given(graph_and_partition())
+    @settings(max_examples=60, deadline=None)
+    def test_coverage_in_unit_interval(self, args):
+        g, p = args
+        assert 0.0 <= coverage(g, p) <= 1.0
+
+    @given(graph_and_partition())
+    @settings(max_examples=60, deadline=None)
+    def test_conductances_in_unit_interval(self, args):
+        g, p = args
+        phi = conductances(g, p)
+        assert np.all(phi >= 0.0)
+        assert np.all(phi <= 1.0 + 1e-9)
+
+    @given(graph_and_partition())
+    @settings(max_examples=40, deadline=None)
+    def test_all_in_one_extremes(self, args):
+        g, _ = args
+        one = Partition(np.zeros(g.n_vertices, dtype=np.int64))
+        assert coverage(g, one) == 1.0
+        assert abs(modularity(g, one)) < 1e-12
+
+    @given(partition_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_comparison_symmetry_and_self(self, pair):
+        a, b = pair
+        assert abs(
+            normalized_mutual_information(a, b)
+            - normalized_mutual_information(b, a)
+        ) < 1e-9
+        assert abs(
+            adjusted_rand_index(a, b) - adjusted_rand_index(b, a)
+        ) < 1e-9
+        assert normalized_mutual_information(a, a) == pytest.approx(1.0)
+        assert adjusted_rand_index(a, a) == pytest.approx(1.0)

@@ -1,0 +1,116 @@
+"""Property-based tests for the CSR kernels and the sparse formulation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.graph import from_edges
+from repro.metrics import Partition, modularity
+from repro.spmatrix import (
+    CSRMatrix,
+    adjacency_matrix,
+    contract_via_spgemm,
+    matrix_modularity,
+    selector_matrix,
+    spgemm,
+)
+
+
+@st.composite
+def csr_pair(draw):
+    """Two multiplicable sparse matrices plus their dense mirrors."""
+    m = draw(st.integers(1, 8))
+    k = draw(st.integers(1, 8))
+    n = draw(st.integers(1, 8))
+
+    def mat(rows, cols):
+        nnz = draw(st.integers(0, rows * cols))
+        r = draw(hnp.arrays(np.int64, nnz, elements=st.integers(0, rows - 1)))
+        c = draw(hnp.arrays(np.int64, nnz, elements=st.integers(0, cols - 1)))
+        v = draw(
+            hnp.arrays(
+                np.float64, nnz, elements=st.floats(-4, 4, allow_nan=False)
+            )
+        )
+        csr = CSRMatrix.from_triplets(r, c, v, (rows, cols))
+        return csr, csr.to_dense()
+
+    a, da = mat(m, k)
+    b, db = mat(k, n)
+    return a, da, b, db
+
+
+@st.composite
+def graphs_with_mapping(draw):
+    n = draw(st.integers(2, 20))
+    m = draw(st.integers(1, 50))
+    i = draw(hnp.arrays(np.int64, m, elements=st.integers(0, n - 1)))
+    j = draw(hnp.arrays(np.int64, m, elements=st.integers(0, n - 1)))
+    w = draw(
+        hnp.arrays(np.float64, m, elements=st.floats(0.5, 5.0, allow_nan=False))
+    )
+    g = from_edges(i, j, w, n_vertices=n)
+    labels = draw(hnp.arrays(np.int64, n, elements=st.integers(0, 4)))
+    p = Partition.from_labels(labels)
+    return g, p
+
+
+class TestSpGEMMProperties:
+    @given(csr_pair())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_dense(self, args):
+        a, da, b, db = args
+        c = spgemm(a, b)
+        np.testing.assert_allclose(c.to_dense(), da @ db, atol=1e-9)
+
+    @given(csr_pair())
+    @settings(max_examples=40, deadline=None)
+    def test_transpose_identity(self, args):
+        a, da, _, _ = args
+        np.testing.assert_allclose(
+            a.transpose().transpose().to_dense(), da
+        )
+
+    @given(csr_pair())
+    @settings(max_examples=40, deadline=None)
+    def test_matvec_consistent_with_spgemm(self, args):
+        a, da, _, _ = args
+        x = np.ones(a.n_cols)
+        np.testing.assert_allclose(a.matvec(x), da @ x, atol=1e-9)
+
+
+class TestSparseFormulationProperties:
+    @given(graphs_with_mapping())
+    @settings(max_examples=50, deadline=None)
+    def test_contraction_weight_conserved(self, args):
+        g, p = args
+        coarse = contract_via_spgemm(g, p.labels, p.n_communities)
+        coarse.validate()
+        assert abs(coarse.total_weight() - g.total_weight()) < 1e-6 * max(
+            1.0, g.total_weight()
+        )
+
+    @given(graphs_with_mapping())
+    @settings(max_examples=50, deadline=None)
+    def test_matrix_modularity_matches_metric(self, args):
+        g, p = args
+        q = matrix_modularity(g, p.labels, p.n_communities)
+        assert abs(q - modularity(g, p)) < 1e-9
+
+    @given(graphs_with_mapping())
+    @settings(max_examples=30, deadline=None)
+    def test_selector_preserves_vertex_mass(self, args):
+        g, p = args
+        s = selector_matrix(p.labels, p.n_communities)
+        sizes = s.transpose().matvec(np.ones(g.n_vertices))
+        np.testing.assert_array_equal(sizes, p.sizes())
+
+    @given(graphs_with_mapping())
+    @settings(max_examples=30, deadline=None)
+    def test_adjacency_total_mass(self, args):
+        g, _ = args
+        a = adjacency_matrix(g)
+        assert abs(a.data.sum() - 2 * g.total_weight()) < 1e-9 * max(
+            1.0, g.total_weight()
+        )

@@ -1,0 +1,114 @@
+"""Differential tests: vectorized kernels vs pure-Python references.
+
+Exact agreement is required — both sides use the same total orders and
+the same arithmetic, so any divergence is a vectorization bug.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    ConductanceScorer,
+    ModularityScorer,
+    contract,
+    match_locally_dominant,
+)
+from repro.graph import from_edges
+from repro.metrics import Partition, coverage, modularity
+from repro.reference import (
+    conductance_scores_ref,
+    contract_ref,
+    coverage_ref,
+    locally_dominant_matching_ref,
+    modularity_ref,
+    modularity_scores_ref,
+)
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(2, 25))
+    m = draw(st.integers(1, 70))
+    i = draw(hnp.arrays(np.int64, m, elements=st.integers(0, n - 1)))
+    j = draw(hnp.arrays(np.int64, m, elements=st.integers(0, n - 1)))
+    weighted = draw(st.booleans())
+    if weighted:
+        w = draw(
+            hnp.arrays(
+                np.float64, m, elements=st.floats(0.5, 8.0, allow_nan=False)
+            )
+        )
+    else:
+        w = None
+    return from_edges(i, j, w, n_vertices=n)
+
+
+class TestScoringDifferential:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_modularity_scores_identical(self, g):
+        fast = ModularityScorer().score(g)
+        slow = modularity_scores_ref(g)
+        # Association order differs (bincount vs sequential sums), so
+        # agreement is to ULP-scale tolerance, not bit-exact.
+        np.testing.assert_allclose(fast, slow, rtol=0, atol=1e-12)
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_conductance_scores_identical(self, g):
+        fast = ConductanceScorer().score(g)
+        slow = conductance_scores_ref(g)
+        np.testing.assert_allclose(fast, slow, rtol=0, atol=1e-12)
+
+
+class TestMatchingDifferential:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_matching_identical(self, g):
+        scores = ModularityScorer().score(g)
+        fast = match_locally_dominant(g, scores)
+        slow = locally_dominant_matching_ref(g, scores)
+        np.testing.assert_array_equal(fast.partner, slow.partner)
+        np.testing.assert_array_equal(fast.matched_edges, slow.matched_edges)
+        assert fast.passes == slow.passes
+        assert fast.failed_claims == slow.failed_claims
+
+    def test_matching_identical_karate(self, karate):
+        scores = ModularityScorer().score(karate)
+        fast = match_locally_dominant(karate, scores)
+        slow = locally_dominant_matching_ref(karate, scores)
+        np.testing.assert_array_equal(fast.partner, slow.partner)
+
+
+class TestContractionDifferential:
+    @given(graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_contraction_identical(self, g):
+        scores = ModularityScorer().score(g)
+        matching = match_locally_dominant(g, scores)
+        fast, map_fast = contract(g, matching)
+        slow, map_slow = contract_ref(g, matching)
+        np.testing.assert_array_equal(map_fast, map_slow)
+        np.testing.assert_array_equal(fast.edges.ei, slow.edges.ei)
+        np.testing.assert_array_equal(fast.edges.ej, slow.edges.ej)
+        np.testing.assert_allclose(fast.edges.w, slow.edges.w, atol=1e-12)
+        np.testing.assert_allclose(
+            fast.self_weights, slow.self_weights, atol=1e-12
+        )
+
+
+class TestMetricsDifferential:
+    @given(graphs(), st.integers(1, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_modularity_and_coverage(self, g, k):
+        rng = np.random.default_rng(k)
+        p = Partition.from_labels(rng.integers(0, k, g.n_vertices))
+        assert modularity(g, p) == pytest.approx(
+            modularity_ref(g, p), abs=1e-12
+        )
+        assert coverage(g, p) == pytest.approx(
+            coverage_ref(g, p), abs=1e-12
+        )

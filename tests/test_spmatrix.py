@@ -1,0 +1,187 @@
+"""Unit tests for the from-scratch CSR kernels and the §VI sparse
+formulation (validated against dense NumPy and the core contraction)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModularityScorer, contract, match_locally_dominant
+from repro.graph import from_edges
+from repro.metrics import Partition, modularity
+from repro.spmatrix import (
+    CSRMatrix,
+    adjacency_matrix,
+    contract_via_spgemm,
+    matrix_modularity,
+    selector_matrix,
+    spgemm,
+)
+
+
+def random_csr(rng, m, n, density=0.2):
+    mask = rng.random((m, n)) < density
+    dense = np.where(mask, rng.integers(1, 5, (m, n)).astype(float), 0.0)
+    rows, cols = np.nonzero(dense)
+    return (
+        CSRMatrix.from_triplets(rows, cols, dense[rows, cols], (m, n)),
+        dense,
+    )
+
+
+class TestCSRMatrix:
+    def test_from_triplets_coalesces(self):
+        m = CSRMatrix.from_triplets(
+            np.array([0, 0, 1]), np.array([1, 1, 0]), np.array([2.0, 3.0, 1.0]),
+            (2, 2),
+        )
+        assert m.nnz == 2
+        np.testing.assert_array_equal(m.to_dense(), [[0, 5], [1, 0]])
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_triplets(
+                np.array([5]), np.array([0]), np.array([1.0]), (2, 2)
+            )
+
+    def test_identity(self):
+        eye = CSRMatrix.identity(3)
+        np.testing.assert_array_equal(eye.to_dense(), np.eye(3))
+
+    def test_row_access(self):
+        m = CSRMatrix.from_triplets(
+            np.array([1, 1]), np.array([0, 2]), np.array([4.0, 5.0]), (2, 3)
+        )
+        cols, vals = m.row(1)
+        np.testing.assert_array_equal(cols, [0, 2])
+        np.testing.assert_array_equal(vals, [4.0, 5.0])
+        assert len(m.row(0)[0]) == 0
+
+    def test_diagonal(self):
+        m = CSRMatrix.from_triplets(
+            np.array([0, 1, 1]), np.array([0, 1, 0]),
+            np.array([7.0, 8.0, 1.0]), (2, 2),
+        )
+        np.testing.assert_array_equal(m.diagonal(), [7.0, 8.0])
+
+    def test_diagonal_rectangular(self):
+        m = CSRMatrix.from_triplets(
+            np.array([0, 2]), np.array([0, 1]), np.array([3.0, 9.0]), (3, 2)
+        )
+        np.testing.assert_array_equal(m.diagonal(), [3.0, 0.0])
+
+    def test_transpose(self):
+        rng = np.random.default_rng(0)
+        m, dense = random_csr(rng, 5, 7)
+        np.testing.assert_array_equal(m.transpose().to_dense(), dense.T)
+
+    def test_matvec(self):
+        rng = np.random.default_rng(1)
+        m, dense = random_csr(rng, 6, 4)
+        x = rng.random(4)
+        np.testing.assert_allclose(m.matvec(x), dense @ x)
+
+    def test_matvec_dim_check(self):
+        m = CSRMatrix.identity(3)
+        with pytest.raises(ValueError):
+            m.matvec(np.ones(4))
+
+    def test_scale_rows(self):
+        rng = np.random.default_rng(2)
+        m, dense = random_csr(rng, 4, 4)
+        s = rng.random(4)
+        np.testing.assert_allclose(
+            m.scale_rows(s).to_dense(), np.diag(s) @ dense
+        )
+
+    def test_triplet_length_check(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_triplets(
+                np.array([0]), np.array([0, 1]), np.array([1.0]), (2, 2)
+            )
+
+
+class TestSpGEMM:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_against_dense(self, seed):
+        rng = np.random.default_rng(seed)
+        a, da = random_csr(rng, 6, 5)
+        b, db = random_csr(rng, 5, 7)
+        c = spgemm(a, b)
+        np.testing.assert_allclose(c.to_dense(), da @ db)
+
+    def test_identity_neutral(self):
+        rng = np.random.default_rng(9)
+        a, da = random_csr(rng, 4, 4)
+        c = spgemm(a, CSRMatrix.identity(4))
+        np.testing.assert_allclose(c.to_dense(), da)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            spgemm(CSRMatrix.identity(3), CSRMatrix.identity(4))
+
+    def test_empty_operands(self):
+        empty = CSRMatrix.from_triplets(
+            np.empty(0, int), np.empty(0, int), np.empty(0), (3, 3)
+        )
+        c = spgemm(empty, CSRMatrix.identity(3))
+        assert c.nnz == 0
+        assert c.shape == (3, 3)
+
+
+class TestAdjacencyAndSelector:
+    def test_adjacency_row_sums_are_strengths(self, karate):
+        a = adjacency_matrix(karate)
+        np.testing.assert_allclose(
+            a.matvec(np.ones(34)), karate.strengths()
+        )
+
+    def test_adjacency_total_is_2w(self, karate):
+        a = adjacency_matrix(karate)
+        assert a.data.sum() == pytest.approx(2 * karate.total_weight())
+
+    def test_selector_shape(self):
+        s = selector_matrix(np.array([0, 1, 0]), 2)
+        np.testing.assert_array_equal(
+            s.to_dense(), [[1, 0], [0, 1], [1, 0]]
+        )
+
+    def test_selector_range_check(self):
+        with pytest.raises(ValueError):
+            selector_matrix(np.array([3]), 2)
+
+
+class TestSparseContraction:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_bucket_contraction(self, random_graph_factory, seed):
+        g = random_graph_factory(n=25, m=80, seed=seed)
+        matching = match_locally_dominant(g, ModularityScorer().score(g))
+        expected, mapping = contract(g, matching)
+        k = expected.n_vertices
+        got = contract_via_spgemm(g, mapping, k)
+        np.testing.assert_array_equal(got.edges.ei, expected.edges.ei)
+        np.testing.assert_array_equal(got.edges.ej, expected.edges.ej)
+        np.testing.assert_allclose(got.edges.w, expected.edges.w)
+        np.testing.assert_allclose(got.self_weights, expected.self_weights)
+        got.validate()
+
+    def test_weight_conserved(self, karate):
+        matching = match_locally_dominant(
+            karate, ModularityScorer().score(karate)
+        )
+        _, mapping = contract(karate, matching)
+        got = contract_via_spgemm(karate, mapping, int(mapping.max()) + 1)
+        assert got.total_weight() == pytest.approx(karate.total_weight())
+
+
+class TestMatrixModularity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_metric(self, random_graph_factory, seed):
+        g = random_graph_factory(n=20, m=60, seed=seed)
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 4, g.n_vertices)
+        p = Partition.from_labels(labels)
+        q_matrix = matrix_modularity(g, p.labels, p.n_communities)
+        assert q_matrix == pytest.approx(modularity(g, p))
+
+    def test_zero_graph(self):
+        g = from_edges(np.empty(0, int), np.empty(0, int), n_vertices=3)
+        assert matrix_modularity(g, np.zeros(3, dtype=np.int64), 1) == 0.0

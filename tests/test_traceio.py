@@ -1,0 +1,96 @@
+"""Unit tests for trace serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.platform import (
+    INTEL_E7_8870,
+    KernelRecord,
+    TraceRecorder,
+    load_trace,
+    save_trace,
+    simulate_time,
+)
+
+
+@pytest.fixture
+def recorder():
+    rec = TraceRecorder()
+    rec.record(KernelRecord(name="score", items=100, mem_words=700, atomics=3))
+    rec.record(
+        KernelRecord(
+            name="match_pass",
+            items=50,
+            mem_words=250,
+            locks=4,
+            contention=0.25,
+            chain_ops=7,
+        )
+    )
+    rec.next_level()
+    rec.record(KernelRecord(name="score", items=40, mem_words=280))
+    return rec
+
+
+class TestRoundtrip:
+    def test_records_identical(self, tmp_path, recorder):
+        path = tmp_path / "trace.json"
+        save_trace(recorder, path)
+        loaded = load_trace(path)
+        assert loaded.records == recorder.records
+        assert loaded.n_levels == recorder.n_levels
+
+    def test_simulation_identical(self, tmp_path, recorder):
+        path = tmp_path / "trace.json"
+        save_trace(recorder, path)
+        loaded = load_trace(path)
+        a = simulate_time(recorder.records, INTEL_E7_8870, 8).total
+        b = simulate_time(loaded.records, INTEL_E7_8870, 8).total
+        assert a == b
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_trace(TraceRecorder(), path)
+        loaded = load_trace(path)
+        assert loaded.records == []
+
+    def test_real_algorithm_trace(self, tmp_path, karate):
+        from repro import detect_communities
+
+        rec = TraceRecorder()
+        detect_communities(karate, recorder=rec)
+        path = tmp_path / "karate.json"
+        save_trace(rec, path)
+        assert load_trace(path).records == rec.records
+
+
+class TestErrors:
+    def test_not_a_trace(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"foo": 1}))
+        with pytest.raises(ReproError, match="not a repro trace"):
+            load_trace(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(
+            json.dumps({"format": "repro-trace", "version": 99, "records": []})
+        )
+        with pytest.raises(ReproError, match="version"):
+            load_trace(path)
+
+    def test_malformed_record(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-trace",
+                    "version": 1,
+                    "records": [{"name": "k"}],  # missing items
+                }
+            )
+        )
+        with pytest.raises(ReproError, match="malformed"):
+            load_trace(path)

@@ -1,0 +1,132 @@
+"""Unit tests for the util subpackage."""
+
+import numpy as np
+import pytest
+
+from repro.util import Timer, as_generator, spawn_seeds
+from repro.util.arrays import (
+    compact_indices,
+    group_reduce_sum,
+    renumber_dense,
+    segment_starts,
+)
+from repro.util.validation import (
+    check_1d,
+    check_nonnegative,
+    check_positive,
+    check_same_length,
+)
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_reproducible(self):
+        assert as_generator(7).integers(100) == as_generator(7).integers(100)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence(self):
+        ss = np.random.SeedSequence(5)
+        a = as_generator(ss).integers(1000)
+        b = as_generator(np.random.SeedSequence(5)).integers(1000)
+        assert a == b
+
+    def test_spawn_seeds_independent(self):
+        seeds = spawn_seeds(0, 3)
+        vals = [as_generator(s).integers(10**9) for s in seeds]
+        assert len(set(vals)) == 3
+
+    def test_spawn_seeds_reproducible(self):
+        a = [s.generate_state(1)[0] for s in spawn_seeds(42, 2)]
+        b = [s.generate_state(1)[0] for s in spawn_seeds(42, 2)]
+        assert a == b
+
+    def test_spawn_negative(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_spawn_from_generator(self):
+        seeds = spawn_seeds(np.random.default_rng(1), 2)
+        assert len(seeds) == 2
+
+
+class TestTimer:
+    def test_measures_time(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed >= 0.0
+
+
+class TestArrays:
+    def test_group_reduce_sum(self):
+        out = group_reduce_sum(
+            np.array([0, 2, 0]), np.array([1.0, 2.0, 3.0]), 3
+        )
+        np.testing.assert_array_equal(out, [4.0, 0.0, 2.0])
+
+    def test_group_reduce_sum_length_check(self):
+        with pytest.raises(ValueError):
+            group_reduce_sum(np.array([0]), np.array([1.0, 2.0]), 2)
+
+    def test_segment_starts(self):
+        np.testing.assert_array_equal(
+            segment_starts(np.array([1, 1, 3, 3, 3, 7])), [0, 2, 5]
+        )
+
+    def test_segment_starts_empty(self):
+        assert len(segment_starts(np.empty(0, int))) == 0
+
+    def test_compact_indices(self):
+        np.testing.assert_array_equal(
+            compact_indices(np.array([True, False, True])), [0, 2]
+        )
+
+    def test_renumber_dense(self):
+        labels, k = renumber_dense(np.array([10, 3, 10, 7]))
+        assert k == 3
+        np.testing.assert_array_equal(labels, [2, 0, 2, 1])
+
+
+class TestValidation:
+    def test_check_1d(self):
+        check_1d(np.zeros(3), "x")
+        with pytest.raises(ValueError):
+            check_1d(np.zeros((2, 2)), "x")
+        with pytest.raises(TypeError):
+            check_1d([1, 2], "x")
+
+    def test_check_same_length(self):
+        check_same_length("a", np.zeros(2), "b", np.zeros(2))
+        with pytest.raises(ValueError):
+            check_same_length("a", np.zeros(2), "b", np.zeros(3))
+
+    def test_check_scalars(self):
+        check_nonnegative(0, "x")
+        check_positive(1, "x")
+        with pytest.raises(ValueError):
+            check_nonnegative(-1, "x")
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        from repro.util.log import get_logger
+
+        assert get_logger().name == "repro"
+        assert get_logger("core").name == "repro.core"
+
+    def test_enable_console_logging_detachable(self):
+        import logging
+
+        from repro.util.log import enable_console_logging, get_logger
+
+        handler = enable_console_logging(logging.DEBUG)
+        try:
+            assert handler in logging.getLogger("repro").handlers
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
