@@ -29,6 +29,7 @@ from repro import (
     graph,
     kernels,
     metrics,
+    obs,
     parallel,
     platform,
     pregel,
@@ -46,6 +47,7 @@ from repro.core import (
 )
 from repro.graph import CommunityGraph, from_edges, largest_component
 from repro.metrics import Partition, coverage, modularity
+from repro.obs import Tracer, read_trace, render_profile, write_trace
 from repro.platform import TraceRecorder, get_machine, simulate_time
 
 __version__ = "1.0.0"
@@ -61,6 +63,7 @@ __all__ = [
     "graph",
     "kernels",
     "metrics",
+    "obs",
     "parallel",
     "platform",
     "pregel",
@@ -83,4 +86,8 @@ __all__ = [
     "TraceRecorder",
     "get_machine",
     "simulate_time",
+    "Tracer",
+    "write_trace",
+    "read_trace",
+    "render_profile",
 ]

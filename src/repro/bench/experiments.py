@@ -18,6 +18,7 @@ from repro.bench.harness import (
     run_with_trace,
     scaling_experiment,
 )
+from repro.obs.trace import NullTracer, Tracer
 from repro.platform.machine import (
     CRAY_XMT,
     CRAY_XMT2,
@@ -59,31 +60,52 @@ class FigureData:
     runs: dict[str, TracedRun]
 
 
-def _trace(name: str, *, scale: float, seed: SeedLike) -> TracedRun:
+def _trace(
+    name: str,
+    *,
+    scale: float,
+    seed: SeedLike,
+    tracer: Tracer | NullTracer | None = None,
+) -> TracedRun:
     graph = load_dataset(name, scale=scale, seed=seed)
-    return run_with_trace(graph, graph_name=name)
+    return run_with_trace(graph, graph_name=name, tracer=tracer)
 
 
-def figure1(*, scale: float = 1.0, seed: SeedLike = 0) -> FigureData:
+def figure1(
+    *,
+    scale: float = 1.0,
+    seed: SeedLike = 0,
+    tracer: Tracer | NullTracer | None = None,
+) -> FigureData:
     """Execution time vs threads/processors, 5 platforms × 2 graphs."""
     sweeps: dict[str, dict[str, ScalingResult]] = {}
     runs: dict[str, TracedRun] = {}
     for gname in FIG12_GRAPHS:
-        run = _trace(gname, scale=scale, seed=seed)
+        run = _trace(gname, scale=scale, seed=seed, tracer=tracer)
         runs[gname] = run
         sweeps[gname] = scaling_experiment(run, ALL_PLATFORMS, seed=seed)
     return FigureData(sweeps=sweeps, runs=runs)
 
 
-def figure2(*, scale: float = 1.0, seed: SeedLike = 0) -> FigureData:
+def figure2(
+    *,
+    scale: float = 1.0,
+    seed: SeedLike = 0,
+    tracer: Tracer | NullTracer | None = None,
+) -> FigureData:
     """Speed-up vs best single-unit run — same sweeps as Figure 1."""
-    return figure1(scale=scale, seed=seed)
+    return figure1(scale=scale, seed=seed, tracer=tracer)
 
 
-def figure3(*, scale: float = 1.0, seed: SeedLike = 0) -> FigureData:
+def figure3(
+    *,
+    scale: float = 1.0,
+    seed: SeedLike = 0,
+    tracer: Tracer | NullTracer | None = None,
+) -> FigureData:
     """uk-2007-05 time and speed-up on E7-8870 and XMT2 only (the paper's
     two platforms big enough for the graph)."""
-    run = _trace("uk-2007-05", scale=scale, seed=seed)
+    run = _trace("uk-2007-05", scale=scale, seed=seed, tracer=tracer)
     sweeps = {
         "uk-2007-05": scaling_experiment(
             run, (INTEL_E7_8870, CRAY_XMT2), seed=seed
@@ -93,11 +115,14 @@ def figure3(*, scale: float = 1.0, seed: SeedLike = 0) -> FigureData:
 
 
 def table3(
-    *, scale: float = 1.0, seed: SeedLike = 0
+    *,
+    scale: float = 1.0,
+    seed: SeedLike = 0,
+    tracer: Tracer | NullTracer | None = None,
 ) -> Mapping[str, Mapping[str, ScalingResult]]:
     """Peak processing rates: Figures 1+3 sweeps arranged per Table III."""
-    data = figure1(scale=scale, seed=seed)
-    uk = figure3(scale=scale, seed=seed)
+    data = figure1(scale=scale, seed=seed, tracer=tracer)
+    uk = figure3(scale=scale, seed=seed, tracer=tracer)
     sweeps = dict(data.sweeps)
     sweeps["uk-2007-05"] = uk.sweeps["uk-2007-05"]
     return sweeps

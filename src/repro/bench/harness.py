@@ -18,6 +18,8 @@ from repro.core.agglomeration import AgglomerationResult, detect_communities
 from repro.core.scoring import EdgeScorer
 from repro.core.termination import TerminationCriteria
 from repro.graph.graph import CommunityGraph
+from repro.obs.sinks import phase_totals
+from repro.obs.trace import NullTracer, Tracer, as_tracer
 from repro.platform.kernels import TraceRecorder
 from repro.platform.machine import MachineModel
 from repro.platform.sim import simulate_sweep, simulate_time
@@ -34,13 +36,55 @@ __all__ = [
 
 @dataclass
 class TracedRun:
-    """A community-detection run plus its recorded execution trace."""
+    """A community-detection run plus its recorded execution trace(s).
+
+    ``recorder`` holds the *simulated* work profile used by the platform
+    cost models; ``tracer``, when attached, holds the *real* wall-clock
+    spans of the same run (see :mod:`repro.obs`).
+    """
 
     graph_name: str
     n_vertices: int
     n_edges: int
     result: AgglomerationResult
     recorder: TraceRecorder
+    tracer: Tracer | NullTracer | None = None
+
+    def phase_breakdown(self) -> dict[str, float] | None:
+        """Measured seconds per pipeline phase for this run's spans.
+
+        ``{"score": s, "match": s, "contract": s, "total": s,
+        "contract_share": fraction}``, or ``None`` when the run was not
+        wall-clock traced.  This is the ``phases`` block benchmark JSON
+        reports carry.
+        """
+        if self.tracer is None or not self.tracer.enabled:
+            return None
+        # Phase spans don't carry the graph attr themselves; select the
+        # subtree under this run's "run" root span.
+        run_roots = [
+            s
+            for s in self.tracer.find("run")
+            if s.attrs.get("graph") == self.graph_name
+        ]
+        if not run_roots:
+            return phase_totals(list(self.tracer.spans))
+        by_id = {s.span_id: s for s in self.tracer.spans}
+        root_ids = {s.span_id for s in run_roots}
+
+        def in_run(s) -> bool:
+            cur = s
+            while cur is not None:
+                if cur.span_id in root_ids:
+                    return True
+                cur = (
+                    by_id.get(cur.parent_id)
+                    if cur.parent_id is not None
+                    else None
+                )
+            return False
+
+        return phase_totals([s for s in self.tracer.spans if in_run(s)])
 
 
 def run_with_trace(
@@ -51,23 +95,40 @@ def run_with_trace(
     termination: TerminationCriteria | None = None,
     matcher: Literal["worklist", "sweep"] = "worklist",
     contractor: Literal["bucket", "chains"] = "bucket",
+    tracer: Tracer | NullTracer | None = None,
 ) -> TracedRun:
-    """Run detection with a fresh recorder attached."""
+    """Run detection with a fresh recorder (and optional tracer) attached.
+
+    The wall-clock spans are rooted under a ``"run"`` span stamped with
+    the graph name so several runs can share one tracer (the bench
+    exhibits sweep multiple graphs).
+    """
     recorder = TraceRecorder()
-    result = detect_communities(
-        graph,
-        scorer,
-        termination=termination,
-        matcher=matcher,
-        contractor=contractor,
-        recorder=recorder,
-    )
+    tr = as_tracer(tracer)
+    with tr.span("run", graph=graph_name) as sp:
+        result = detect_communities(
+            graph,
+            scorer,
+            termination=termination,
+            matcher=matcher,
+            contractor=contractor,
+            recorder=recorder,
+            tracer=tr,
+        )
+        sp.set(
+            items=graph.n_edges,
+            matcher=matcher,
+            contractor=contractor,
+            n_levels=result.n_levels,
+            terminated_by=result.terminated_by,
+        )
     return TracedRun(
         graph_name=graph_name,
         n_vertices=graph.n_vertices,
         n_edges=graph.n_edges,
         result=result,
         recorder=recorder,
+        tracer=tracer,
     )
 
 

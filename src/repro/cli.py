@@ -42,10 +42,33 @@ from repro.graph import (
 )
 from repro.graph.graph import CommunityGraph
 from repro.metrics import Partition, average_conductance, coverage, modularity
+from repro.obs import Tracer, as_tracer, render_profile, write_trace
 
 __all__ = ["main"]
 
 _SCORERS = {"modularity": ModularityScorer, "conductance": ConductanceScorer}
+
+
+def _make_tracer(args: argparse.Namespace) -> Tracer | None:
+    """A real tracer when ``--trace-out``/``--profile`` ask for one."""
+    if getattr(args, "trace_out", None) or getattr(args, "profile", False):
+        return Tracer()
+    return None
+
+
+def _emit_trace(
+    tracer: Tracer | None, args: argparse.Namespace, meta: dict
+) -> None:
+    """Write the JSONL trace and/or print the profile table (stderr)."""
+    if tracer is None:
+        return
+    if args.trace_out:
+        n = write_trace(tracer, args.trace_out, meta=meta)
+        print(
+            f"trace: {n} spans written to {args.trace_out}", file=sys.stderr
+        )
+    if args.profile:
+        print(render_profile(list(tracer.spans)), file=sys.stderr)
 
 
 def _load_graph(path: str, fmt: str) -> CommunityGraph:
@@ -88,15 +111,24 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         max_community_size=args.max_community_size,
         max_levels=args.max_levels,
     )
+    tracer = _make_tracer(args)
 
     if args.algorithm == "parallel":
-        result = detect_communities(
-            graph,
-            _SCORERS[args.scorer](),
-            termination=termination,
-            matcher=args.matcher,
-            contractor=args.contractor,
-        )
+        tr = as_tracer(tracer)
+        with tr.span("run", graph=args.input, algorithm="parallel") as rsp:
+            result = detect_communities(
+                graph,
+                _SCORERS[args.scorer](),
+                termination=termination,
+                matcher=args.matcher,
+                contractor=args.contractor,
+                tracer=tracer,
+            )
+            rsp.set(
+                items=graph.n_edges,
+                n_levels=result.n_levels,
+                terminated_by=result.terminated_by,
+            )
         partition = result.partition
         print(
             f"parallel agglomeration: {result.n_levels} levels, "
@@ -128,6 +160,23 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     finally:
         if out is not sys.stdout:
             out.close()
+
+    # after the labels are safely written: a bad --trace-out path must
+    # not cost the user the detection results
+    _emit_trace(
+        tracer,
+        args,
+        meta={
+            "command": "detect",
+            "input": args.input,
+            "algorithm": args.algorithm,
+            "scorer": args.scorer,
+            "matcher": args.matcher,
+            "contractor": args.contractor,
+            "n_vertices": graph.n_vertices,
+            "n_edges": graph.n_edges,
+        },
+    )
     return 0
 
 
@@ -226,6 +275,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     from repro.bench.experiments import figure1, figure3, table3
 
+    tracer = _make_tracer(args)
     if args.exhibit == "table1":
         print(format_table1())
     elif args.exhibit == "table2":
@@ -240,20 +290,34 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         }
         print(format_table2(measured))
     elif args.exhibit == "table3":
-        print(format_table3(table3(scale=args.scale, seed=args.seed)))
+        print(
+            format_table3(
+                table3(scale=args.scale, seed=args.seed, tracer=tracer)
+            )
+        )
     elif args.exhibit in ("figure1", "figure2"):
-        data = figure1(scale=args.scale, seed=args.seed)
+        data = figure1(scale=args.scale, seed=args.seed, tracer=tracer)
         speedup = args.exhibit == "figure2"
         for g, sweeps in data.sweeps.items():
             for _, sr in sweeps.items():
                 print(format_scaling(sr, speedup=speedup))
                 print()
     else:  # figure3
-        data = figure3(scale=args.scale, seed=args.seed)
+        data = figure3(scale=args.scale, seed=args.seed, tracer=tracer)
         for _, sr in data.sweeps["uk-2007-05"].items():
             print(format_scaling(sr))
             print(format_scaling(sr, speedup=True))
             print()
+    _emit_trace(
+        tracer,
+        args,
+        meta={
+            "command": "bench",
+            "exhibit": args.exhibit,
+            "scale": args.scale,
+            "seed": args.seed,
+        },
+    )
     return 0
 
 
@@ -296,6 +360,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-levels", type=int, default=None)
     p.add_argument("--refine", action="store_true", help="run local refinement")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL wall-clock run trace (see docs/OBSERVABILITY.md)",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-level phase-time table to stderr",
+    )
     p.set_defaults(func=_cmd_detect)
 
     p = sub.add_parser("generate", help="generate a synthetic graph file")
@@ -329,6 +404,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--scale", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL wall-clock run trace of the exhibit's runs",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-run phase-time tables to stderr",
+    )
     p.set_defaults(func=_cmd_bench)
     return parser
 

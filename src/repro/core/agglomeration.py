@@ -32,6 +32,7 @@ from repro.core.termination import TerminationCriteria
 from repro.graph.graph import CommunityGraph
 from repro.metrics.modularity import community_graph_modularity
 from repro.metrics.partition import Partition
+from repro.obs.trace import NullTracer, Tracer, as_tracer
 from repro.platform.kernels import TraceRecorder
 from repro.types import NO_VERTEX, VERTEX_DTYPE
 from repro.util.log import get_logger
@@ -124,6 +125,7 @@ def detect_communities(
     matcher: Literal["worklist", "sweep"] = "worklist",
     contractor: Literal["bucket", "chains"] = "bucket",
     recorder: TraceRecorder | None = None,
+    tracer: Tracer | NullTracer | None = None,
     progress: Callable[[LevelStats], None] | None = None,
 ) -> AgglomerationResult:
     """Detect communities by parallel agglomeration.
@@ -142,6 +144,11 @@ def detect_communities(
     recorder:
         Optional :class:`TraceRecorder` collecting the execution trace for
         platform simulation.
+    tracer:
+        Optional :class:`repro.obs.Tracer` recording real wall-clock
+        spans (one ``"level"`` span per level with ``"score"`` /
+        ``"match"`` / ``"contract"`` children).  ``None`` uses the
+        zero-overhead :data:`~repro.obs.NULL_TRACER`.
     progress:
         Optional callback invoked with each level's :class:`LevelStats`
         as it completes (long runs, CLI verbosity).
@@ -165,6 +172,7 @@ def detect_communities(
     except KeyError:
         raise ValueError(f"unknown contractor {contractor!r}") from None
 
+    tr = as_tracer(tracer)
     current = graph.copy()
     dendrogram = Dendrogram(graph.n_vertices)
     levels: list[LevelStats] = []
@@ -183,51 +191,81 @@ def detect_communities(
             terminated_by = "max_levels"
             break
 
-        scores = scorer.score(current, recorder)
-        if termination.max_community_size is not None:
-            e = current.edges
-            too_big = (
-                member_counts[e.ei] + member_counts[e.ej]
-                > termination.max_community_size
-            )
-            scores = np.where(too_big, -np.inf, scores)
-        n_positive = int(np.count_nonzero(scores > 0))
-        if n_positive == 0:
-            terminated_by = "local_maximum"
-            break
-
-        matching = match_fn(current, scores, recorder)
-        max_pairs = current.n_vertices - termination.min_communities
-        if matching.n_pairs > max_pairs:
-            limited = _limit_matching(matching, scores, max_pairs)
-            # Rebuild partner from the kept edges.
-            partner = limited.partner
-            kept = limited.matched_edges
-            partner[current.edges.ei[kept]] = current.edges.ej[kept]
-            partner[current.edges.ej[kept]] = current.edges.ei[kept]
-            matching = limited
-
+        level_idx = len(levels)
         entering_v = current.n_vertices
         entering_e = current.n_edges
-        current, mapping = contract_fn(current, matching, recorder)
-        dendrogram.push(mapping)
-        member_counts = np.bincount(
-            mapping, weights=member_counts, minlength=current.n_vertices
-        ).astype(VERTEX_DTYPE)
-        if recorder is not None:
-            recorder.next_level()
+        with tr.span(
+            "level", level=level_idx, n_vertices=entering_v, n_edges=entering_e
+        ) as level_span:
+            with tr.span("score", level=level_idx) as sp:
+                scores = scorer.score(current, recorder)
+                if termination.max_community_size is not None:
+                    e = current.edges
+                    too_big = (
+                        member_counts[e.ei] + member_counts[e.ej]
+                        > termination.max_community_size
+                    )
+                    scores = np.where(too_big, -np.inf, scores)
+                n_positive = int(np.count_nonzero(scores > 0))
+                sp.set(
+                    items=entering_e,
+                    scorer=scorer.name,
+                    n_positive=n_positive,
+                )
+            if n_positive == 0:
+                terminated_by = "local_maximum"
+                break
 
-        cov = current.coverage()
-        stats = LevelStats(
-            level=len(levels),
-            n_vertices=entering_v,
-            n_edges=entering_e,
-            n_positive_scores=n_positive,
-            n_pairs=matching.n_pairs,
-            matching_passes=matching.passes,
-            coverage_after=cov,
-            modularity_after=community_graph_modularity(current),
-        )
+            with tr.span("match", level=level_idx) as sp:
+                matching = match_fn(current, scores, recorder, tracer=tr)
+                max_pairs = current.n_vertices - termination.min_communities
+                if matching.n_pairs > max_pairs:
+                    limited = _limit_matching(matching, scores, max_pairs)
+                    # Rebuild partner from the kept edges.
+                    partner = limited.partner
+                    kept = limited.matched_edges
+                    partner[current.edges.ei[kept]] = current.edges.ej[kept]
+                    partner[current.edges.ej[kept]] = current.edges.ei[kept]
+                    matching = limited
+                sp.set(
+                    items=n_positive,
+                    n_pairs=matching.n_pairs,
+                    passes=matching.passes,
+                    failed_claims=matching.failed_claims,
+                )
+
+            with tr.span("contract", level=level_idx) as sp:
+                current, mapping = contract_fn(
+                    current, matching, recorder, tracer=tr
+                )
+                sp.set(
+                    items=entering_e,
+                    n_vertices_after=current.n_vertices,
+                    n_edges_after=current.n_edges,
+                )
+            dendrogram.push(mapping)
+            member_counts = np.bincount(
+                mapping, weights=member_counts, minlength=current.n_vertices
+            ).astype(VERTEX_DTYPE)
+            if recorder is not None:
+                recorder.next_level()
+
+            cov = current.coverage()
+            stats = LevelStats(
+                level=level_idx,
+                n_vertices=entering_v,
+                n_edges=entering_e,
+                n_positive_scores=n_positive,
+                n_pairs=matching.n_pairs,
+                matching_passes=matching.passes,
+                coverage_after=cov,
+                modularity_after=community_graph_modularity(current),
+            )
+            level_span.set(
+                n_pairs=matching.n_pairs,
+                coverage_after=cov,
+            )
+        tr.histogram("agglomeration.matching_passes").observe(matching.passes)
         levels.append(stats)
         _log.info(
             "level %d: %d -> %d communities, coverage %.3f",

@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.matching import MatchingResult
 from repro.graph.edgelist import EdgeList, parity_canonical
 from repro.graph.graph import CommunityGraph
+from repro.obs.trace import NullTracer, Tracer, as_tracer
 from repro.platform.kernels import KernelRecord, TraceRecorder
 from repro.types import NO_VERTEX, VERTEX_DTYPE
 from repro.util.arrays import renumber_dense, segment_starts
@@ -51,33 +52,58 @@ def _mapping_from_matching(
 
 
 def _build_contracted(
-    graph: CommunityGraph, mapping: np.ndarray, k: int
+    graph: CommunityGraph,
+    mapping: np.ndarray,
+    k: int,
+    tracer: Tracer | NullTracer | None = None,
 ) -> CommunityGraph:
-    """Shared relabel + accumulate path (both methods produce this)."""
+    """Shared relabel + accumulate path (both methods produce this).
+
+    When a tracer is attached, each stage of the bucket-sort pipeline
+    gets its own span (§IV-C's relabel → bucket/sort → accumulate) and
+    the distribution of bucket sizes (edges per first endpoint) lands in
+    the ``contract.bucket_occupancy`` histogram.
+    """
+    tr = as_tracer(tracer)
     e = graph.edges
-    ni = mapping[e.ei]
-    nj = mapping[e.ej]
 
-    # Edges inside a merged pair become self weight.
-    loops = ni == nj
-    new_self = np.bincount(mapping, weights=graph.self_weights, minlength=k)
-    if loops.any():
-        new_self += np.bincount(ni[loops], weights=e.w[loops], minlength=k)
+    with tr.span("contract_relabel") as sp:
+        ni = mapping[e.ei]
+        nj = mapping[e.ej]
 
-    keep = ~loops
-    first, second = parity_canonical(ni[keep], nj[keep])
-    w = e.w[keep]
+        # Edges inside a merged pair become self weight.
+        loops = ni == nj
+        new_self = np.bincount(
+            mapping, weights=graph.self_weights, minlength=k
+        )
+        if loops.any():
+            new_self += np.bincount(ni[loops], weights=e.w[loops], minlength=k)
 
-    order = np.lexsort((second, first))
-    first = first[order]
-    second = second[order]
-    w = w[order]
-    if len(first):
-        starts = segment_starts(first * np.int64(k) + second)
-        w = np.add.reduceat(w, starts)
-        first = first[starts]
-        second = second[starts]
-    edges = EdgeList._from_grouped(first, second, w, k)
+        keep = ~loops
+        first, second = parity_canonical(ni[keep], nj[keep])
+        w = e.w[keep]
+        sp.set(items=e.n_edges, n_loops=int(np.count_nonzero(loops)))
+
+    with tr.span("contract_bucket_sort") as sp:
+        if tr.enabled and len(first):
+            occupancy = np.bincount(first, minlength=k)
+            tr.histogram("contract.bucket_occupancy").observe_many(
+                occupancy[occupancy > 0]
+            )
+        order = np.lexsort((second, first))
+        first = first[order]
+        second = second[order]
+        w = w[order]
+        sp.set(items=len(first))
+
+    with tr.span("contract_accumulate") as sp:
+        if len(first):
+            starts = segment_starts(first * np.int64(k) + second)
+            w = np.add.reduceat(w, starts)
+            first = first[starts]
+            second = second[starts]
+        edges = EdgeList._from_grouped(first, second, w, k)
+        sp.set(items=len(first))
     return CommunityGraph(edges, new_self.astype(np.float64, copy=False))
 
 
@@ -85,6 +111,8 @@ def contract(
     graph: CommunityGraph,
     matching: MatchingResult,
     recorder: TraceRecorder | None = None,
+    *,
+    tracer: Tracer | NullTracer | None = None,
 ) -> tuple[CommunityGraph, np.ndarray]:
     """Bucket-sort contraction (the paper's new method).
 
@@ -92,8 +120,11 @@ def contract(
     than the legacy method's ``|E| + |V|`` but with only a fetch-and-add
     of synchronization.
     """
-    mapping, k = _mapping_from_matching(graph, matching)
-    new_graph = _build_contracted(graph, mapping, k)
+    tr = as_tracer(tracer)
+    with tr.span("contract_map") as sp:
+        mapping, k = _mapping_from_matching(graph, matching)
+        sp.set(items=graph.n_vertices, n_communities=k)
+    new_graph = _build_contracted(graph, mapping, k, tracer=tr)
 
     if recorder is not None:
         m = graph.n_edges
@@ -179,6 +210,8 @@ def contract_hash_chains(
     graph: CommunityGraph,
     matching: MatchingResult,
     recorder: TraceRecorder | None = None,
+    *,
+    tracer: Tracer | NullTracer | None = None,
 ) -> tuple[CommunityGraph, np.ndarray]:
     """Legacy hash-of-linked-lists contraction (Feo's technique, [4]).
 
@@ -186,8 +219,11 @@ def contract_hash_chains(
     profile (``chain_ops``) that made this approach infeasible under
     OpenMP while costing only ``|E| + |V|`` scratch words.
     """
-    mapping, k = _mapping_from_matching(graph, matching)
-    new_graph = _build_contracted(graph, mapping, k)
+    tr = as_tracer(tracer)
+    with tr.span("contract_map") as sp:
+        mapping, k = _mapping_from_matching(graph, matching)
+        sp.set(items=graph.n_vertices, n_communities=k)
+    new_graph = _build_contracted(graph, mapping, k, tracer=tr)
 
     if recorder is not None:
         e = graph.edges

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.errors import ConvergenceError
 from repro.graph.graph import CommunityGraph
+from repro.obs.trace import NullTracer, Tracer, as_tracer
 from repro.platform.kernels import KernelRecord, TraceRecorder
 from repro.types import NO_VERTEX, VERTEX_DTYPE
 
@@ -102,7 +103,10 @@ def _run_passes(
     recorder: TraceRecorder | None,
     *,
     legacy_sweep: bool,
+    tracer: Tracer | NullTracer | None = None,
 ) -> MatchingResult:
+    tr = as_tracer(tracer)
+    worklist_gauge = tr.gauge("match.worklist_edges")
     e = graph.edges
     n = graph.n_vertices
     if len(scores) != e.n_edges:
@@ -122,95 +126,99 @@ def _run_passes(
         if passes > max_passes:
             raise ConvergenceError("matching exceeded its pass budget")
 
-        if legacy_sweep:
-            # Legacy: rescan the whole edge array and re-derive liveness.
-            scanned = candidates
-            mask = unmatched[e.ei[scanned]] & unmatched[e.ej[scanned]]
-            live = scanned[mask]
-            scan_items = len(scanned)
-        else:
-            scan_items = len(live)
-        if len(live) == 0:
-            break
-
-        u = e.ei[live]
-        v = e.ej[live]
-        s = scores[live]
-        prio = _edge_priority(live)
-
-        # Per-vertex best score over live incident edges (atomic-max in C).
-        best = np.full(n, -np.inf)
-        np.maximum.at(best, u, s)
-        np.maximum.at(best, v, s)
-
-        # Tie-break on minimum hashed priority among score-maximal edges —
-        # a fixed total order, as the paper requires (it uses score then
-        # vertex indices; see _edge_priority for why we hash).
-        best_edge = np.full(n, _SENTINEL_EDGE, dtype=np.int64)
-        at_u = s == best[u]
-        at_v = s == best[v]
-        np.minimum.at(best_edge, u[at_u], prio[at_u])
-        np.minimum.at(best_edge, v[at_v], prio[at_v])
-
-        # An edge wins when both endpoints chose it (the two-sided claim).
-        mutual = (best_edge[u] == prio) & (best_edge[v] == prio)
-        n_new = int(np.count_nonzero(mutual))
-        if n_new == 0:
-            raise ConvergenceError(
-                "no locally dominant edge found among live edges; "
-                "scores may contain NaN"
-            )
-
-        chosen_u = best_edge[u] == prio  # this edge is u's chosen claim
-        chosen_v = best_edge[v] == prio
-        failed = int(np.count_nonzero((chosen_u | chosen_v) & ~mutual))
-        total_failed += failed
-
-        mu = u[mutual]
-        mv = v[mutual]
-        partner[mu] = mv
-        partner[mv] = mu
-        unmatched[mu] = False
-        unmatched[mv] = False
-        matched_edges.append(live[mutual])
-
-        if recorder is not None:
+        with tr.span("match_pass", pass_index=passes) as pass_span:
             if legacy_sweep:
-                # Every scanned live edge pounds both endpoint slots with
-                # atomic-max updates: a high-degree vertex absorbs its whole
-                # degree in contended traffic each sweep (§IV-B hot spots).
-                atomics = 2 * len(live)
-                distinct = len(np.unique(np.concatenate([u, v])))
-                contention = 1.0 - distinct / max(1, atomics)
+                # Legacy: rescan the whole edge array and re-derive liveness.
+                scanned = candidates
+                mask = unmatched[e.ei[scanned]] & unmatched[e.ej[scanned]]
+                live = scanned[mask]
+                scan_items = len(scanned)
             else:
-                # Worklist algorithm: each unmatched vertex issues exactly
-                # one two-sided claim for its chosen edge.  Collisions only
-                # occur when several proposers target the same partner slot.
-                partners = np.concatenate([v[chosen_u], u[chosen_v]])
-                n_prop = len(partners)
-                atomics = 2 * n_prop
-                colliding = n_prop - len(np.unique(partners))
-                contention = 0.5 * colliding / max(1, n_prop)
-            if legacy_sweep:
-                # Full sweep: every candidate edge pays a cheap liveness
-                # test; only still-live edges do the scoring reads.
-                mem_words = 2 * scan_items + 5 * len(live) + 2 * n_new
-            else:
-                mem_words = 5 * scan_items + 2 * n_new
-            recorder.record(
-                KernelRecord(
-                    name="match_pass",
-                    items=max(scan_items, 1),
-                    mem_words=mem_words,
-                    atomics=atomics,
-                    locks=2 * n_new,
-                    contention=min(1.0, contention),
+                scan_items = len(live)
+            worklist_gauge.set(len(live))
+            pass_span.set(items=scan_items, live_edges=len(live))
+            if len(live) == 0:
+                break
+
+            u = e.ei[live]
+            v = e.ej[live]
+            s = scores[live]
+            prio = _edge_priority(live)
+
+            # Per-vertex best score over live incident edges (atomic-max in C).
+            best = np.full(n, -np.inf)
+            np.maximum.at(best, u, s)
+            np.maximum.at(best, v, s)
+
+            # Tie-break on minimum hashed priority among score-maximal edges —
+            # a fixed total order, as the paper requires (it uses score then
+            # vertex indices; see _edge_priority for why we hash).
+            best_edge = np.full(n, _SENTINEL_EDGE, dtype=np.int64)
+            at_u = s == best[u]
+            at_v = s == best[v]
+            np.minimum.at(best_edge, u[at_u], prio[at_u])
+            np.minimum.at(best_edge, v[at_v], prio[at_v])
+
+            # An edge wins when both endpoints chose it (the two-sided claim).
+            mutual = (best_edge[u] == prio) & (best_edge[v] == prio)
+            n_new = int(np.count_nonzero(mutual))
+            if n_new == 0:
+                raise ConvergenceError(
+                    "no locally dominant edge found among live edges; "
+                    "scores may contain NaN"
                 )
-            )
 
-        if not legacy_sweep:
-            keep = unmatched[u] & unmatched[v]
-            live = live[keep]
+            chosen_u = best_edge[u] == prio  # this edge is u's chosen claim
+            chosen_v = best_edge[v] == prio
+            failed = int(np.count_nonzero((chosen_u | chosen_v) & ~mutual))
+            total_failed += failed
+
+            mu = u[mutual]
+            mv = v[mutual]
+            partner[mu] = mv
+            partner[mv] = mu
+            unmatched[mu] = False
+            unmatched[mv] = False
+            matched_edges.append(live[mutual])
+            pass_span.set(matched=n_new, failed_claims=failed)
+
+            if recorder is not None:
+                if legacy_sweep:
+                    # Every scanned live edge pounds both endpoint slots with
+                    # atomic-max updates: a high-degree vertex absorbs its whole
+                    # degree in contended traffic each sweep (§IV-B hot spots).
+                    atomics = 2 * len(live)
+                    distinct = len(np.unique(np.concatenate([u, v])))
+                    contention = 1.0 - distinct / max(1, atomics)
+                else:
+                    # Worklist algorithm: each unmatched vertex issues exactly
+                    # one two-sided claim for its chosen edge.  Collisions only
+                    # occur when several proposers target the same partner slot.
+                    partners = np.concatenate([v[chosen_u], u[chosen_v]])
+                    n_prop = len(partners)
+                    atomics = 2 * n_prop
+                    colliding = n_prop - len(np.unique(partners))
+                    contention = 0.5 * colliding / max(1, n_prop)
+                if legacy_sweep:
+                    # Full sweep: every candidate edge pays a cheap liveness
+                    # test; only still-live edges do the scoring reads.
+                    mem_words = 2 * scan_items + 5 * len(live) + 2 * n_new
+                else:
+                    mem_words = 5 * scan_items + 2 * n_new
+                recorder.record(
+                    KernelRecord(
+                        name="match_pass",
+                        items=max(scan_items, 1),
+                        mem_words=mem_words,
+                        atomics=atomics,
+                        locks=2 * n_new,
+                        contention=min(1.0, contention),
+                    )
+                )
+
+            if not legacy_sweep:
+                keep = unmatched[u] & unmatched[v]
+                live = live[keep]
 
     matched = (
         np.concatenate(matched_edges)
@@ -230,22 +238,30 @@ def match_locally_dominant(
     graph: CommunityGraph,
     scores: np.ndarray,
     recorder: TraceRecorder | None = None,
+    *,
+    tracer: Tracer | NullTracer | None = None,
 ) -> MatchingResult:
     """The paper's improved worklist matching (see module docstring)."""
-    return _run_passes(graph, scores, recorder, legacy_sweep=False)
+    return _run_passes(
+        graph, scores, recorder, legacy_sweep=False, tracer=tracer
+    )
 
 
 def match_full_sweep(
     graph: CommunityGraph,
     scores: np.ndarray,
     recorder: TraceRecorder | None = None,
+    *,
+    tracer: Tracer | NullTracer | None = None,
 ) -> MatchingResult:
     """The legacy whole-edge-array sweep matching from the 2011 paper [4].
 
     Identical output to :func:`match_locally_dominant`; records the
     hot-spot-heavy execution profile for the ablation benchmarks.
     """
-    return _run_passes(graph, scores, recorder, legacy_sweep=True)
+    return _run_passes(
+        graph, scores, recorder, legacy_sweep=True, tracer=tracer
+    )
 
 
 # ----------------------------------------------------------------- checking

@@ -1,0 +1,56 @@
+"""Run observability: wall-clock spans, metrics, and trace export.
+
+Three layers:
+
+* :mod:`repro.obs.trace` — :class:`Tracer` / :class:`Span` nested
+  wall-clock spans, with a zero-cost :class:`NullTracer` default;
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms;
+* :mod:`repro.obs.sinks` — schema-versioned JSONL export
+  (:func:`write_trace` / :func:`read_trace`) and the per-level console
+  profile table (:func:`render_profile`).
+
+Distinct from :mod:`repro.platform` tracing: the platform layer records
+*simulated* work quantities for the paper's machine cost models; this
+package measures what the current machine actually did.  See
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.sinks import (
+    TraceData,
+    phase_totals,
+    read_trace,
+    render_profile,
+    write_trace,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    as_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "as_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "TraceData",
+    "write_trace",
+    "read_trace",
+    "phase_totals",
+    "render_profile",
+]

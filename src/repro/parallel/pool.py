@@ -23,8 +23,10 @@ from typing import Callable
 import numpy as np
 
 from repro.graph.graph import CommunityGraph
+from repro.obs.trace import NullTracer, Tracer, as_tracer
 from repro.parallel.chunks import chunk_ranges
 from repro.types import SCORE_DTYPE
+from repro.util.timing import Timer
 
 __all__ = ["SharedArrayPool", "parallel_edge_scores"]
 
@@ -77,24 +79,69 @@ class SharedArrayPool:
         fn: Callable[[tuple[str, int, int]], None],
         shm_name: str,
         n_items: int,
+        *,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
-        """Apply ``fn`` to one (shm_name, lo, hi) task per worker."""
+        """Apply ``fn`` to one (shm_name, lo, hi) task per worker.
+
+        With a tracer attached, the whole map gets a ``"pool_run"`` span
+        and each chunk a ``"pool_chunk"`` child.  In process mode the
+        chunk spans are recorded parent-side after the map returns (the
+        workers cannot share the tracer), carrying the worker-measured
+        seconds in the ``worker_s`` attribute; their start/end
+        timestamps are therefore approximate while ``worker_s`` is
+        exact.
+        """
+        tr = as_tracer(tracer)
         tasks = [
             (shm_name, lo, hi)
             for lo, hi in chunk_ranges(n_items, self.n_workers)
             if hi > lo
         ]
-        if not self.uses_processes:
-            for task in tasks:
-                fn(task)
-            return
-        assert self._ctx is not None
-        with self._ctx.Pool(processes=self.n_workers) as pool:
-            pool.map(fn, tasks)
+        with tr.span("pool_run") as sp:
+            sp.set(
+                items=n_items,
+                n_workers=self.n_workers,
+                n_chunks=len(tasks),
+                mode="processes" if self.uses_processes else "inline",
+            )
+            if not self.uses_processes:
+                for task in tasks:
+                    with tr.span("pool_chunk") as csp:
+                        fn(task)
+                        csp.set(items=task[2] - task[1], lo=task[1], hi=task[2])
+                return
+            assert self._ctx is not None
+            with self._ctx.Pool(processes=self.n_workers) as pool:
+                if tr.enabled:
+                    elapsed = pool.map(_timed_call, [(fn, t) for t in tasks])
+                    for task, secs in zip(tasks, elapsed):
+                        with tr.span("pool_chunk") as csp:
+                            csp.set(
+                                items=task[2] - task[1],
+                                lo=task[1],
+                                hi=task[2],
+                                worker_s=secs,
+                            )
+                else:
+                    pool.map(fn, tasks)
+
+
+def _timed_call(
+    args: tuple[Callable[[tuple[str, int, int]], None], tuple[str, int, int]]
+) -> float:
+    """Worker-side wrapper timing one chunk task; returns seconds."""
+    fn, task = args
+    with Timer() as t:
+        fn(task)
+    return t.elapsed
 
 
 def parallel_edge_scores(
-    graph: CommunityGraph, *, n_workers: int | None = None
+    graph: CommunityGraph,
+    *,
+    n_workers: int | None = None,
+    tracer: Tracer | NullTracer | None = None,
 ) -> np.ndarray:
     """Modularity ΔQ scores computed by a process pool over shared memory.
 
@@ -119,7 +166,7 @@ def parallel_edge_scores(
     )
     try:
         pool = SharedArrayPool(n_workers)
-        pool.run(_score_chunk, shm.name, m)
+        pool.run(_score_chunk, shm.name, m, tracer=tracer)
         out = np.ndarray(m, dtype=SCORE_DTYPE, buffer=shm.buf).copy()
     finally:
         shm.close()

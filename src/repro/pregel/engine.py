@@ -25,6 +25,7 @@ import numpy as np
 from repro.errors import ConvergenceError
 from repro.graph.csr import CSRAdjacency
 from repro.graph.graph import CommunityGraph
+from repro.obs.trace import NullTracer, Tracer, as_tracer
 
 __all__ = ["VertexContext", "VertexProgram", "SuperstepStats", "PregelEngine"]
 
@@ -103,42 +104,61 @@ class PregelEngine:
         self._messages_this_step = 0
 
     def run(
-        self, program: VertexProgram, *, max_supersteps: int = 200
+        self,
+        program: VertexProgram,
+        *,
+        max_supersteps: int = 200,
+        tracer: Tracer | NullTracer | None = None,
     ) -> list[Any]:
-        """Execute to quiescence; returns the final vertex states."""
-        n = self.graph.n_vertices
-        self.states = [program.init(v, self.graph) for v in range(n)]
-        self.stats = []
-        halted = np.zeros(n, dtype=bool)
-        inbox: list[list[Any]] = [[] for _ in range(n)]
+        """Execute to quiescence; returns the final vertex states.
 
-        for step in range(max_supersteps):
-            self._superstep = step
-            self._outbox = [[] for _ in range(n)]
-            self._messages_this_step = 0
-            active = 0
-            for v in range(n):
-                if halted[v] and not inbox[v]:
-                    continue
-                active += 1
-                ctx = VertexContext(self, v)
-                program.compute(ctx, inbox[v])
-                halted[v] = ctx.halted
-            self.stats.append(
-                SuperstepStats(
-                    superstep=step,
-                    active_vertices=active,
-                    messages_sent=self._messages_this_step,
-                )
+        With a tracer attached, the run gets a ``"pregel_run"`` span and
+        every superstep a ``"superstep"`` child stamped with the active
+        vertex and sent message counts.
+        """
+        tr = as_tracer(tracer)
+        n = self.graph.n_vertices
+        with tr.span("pregel_run") as run_span:
+            self.states = [program.init(v, self.graph) for v in range(n)]
+            self.stats = []
+            halted = np.zeros(n, dtype=bool)
+            inbox: list[list[Any]] = [[] for _ in range(n)]
+
+            for step in range(max_supersteps):
+                with tr.span("superstep", superstep=step) as sp:
+                    self._superstep = step
+                    self._outbox = [[] for _ in range(n)]
+                    self._messages_this_step = 0
+                    active = 0
+                    for v in range(n):
+                        if halted[v] and not inbox[v]:
+                            continue
+                        active += 1
+                        ctx = VertexContext(self, v)
+                        program.compute(ctx, inbox[v])
+                        halted[v] = ctx.halted
+                    self.stats.append(
+                        SuperstepStats(
+                            superstep=step,
+                            active_vertices=active,
+                            messages_sent=self._messages_this_step,
+                        )
+                    )
+                    sp.set(
+                        items=active,
+                        active_vertices=active,
+                        messages_sent=self._messages_this_step,
+                    )
+                inbox = self._outbox
+                if active == 0:
+                    run_span.set(n_supersteps=len(self.stats))
+                    return self.states
+                if self._messages_this_step == 0 and all(halted):
+                    run_span.set(n_supersteps=len(self.stats))
+                    return self.states
+            raise ConvergenceError(
+                f"vertex program did not quiesce in {max_supersteps} supersteps"
             )
-            inbox = self._outbox
-            if active == 0:
-                return self.states
-            if self._messages_this_step == 0 and all(halted):
-                return self.states
-        raise ConvergenceError(
-            f"vertex program did not quiesce in {max_supersteps} supersteps"
-        )
 
     @property
     def n_supersteps(self) -> int:

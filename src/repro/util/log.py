@@ -21,14 +21,31 @@ def get_logger(name: str | None = None) -> logging.Logger:
     return logging.getLogger(f"{_ROOT}.{name}" if name else _ROOT)
 
 
+#: Marker attribute identifying the handler this module installed, so
+#: repeated enable calls reuse it instead of stacking duplicates.
+_HANDLER_TAG = "_repro_console_handler"
+
+
 def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
     """Attach a stderr handler to the library root; returns the handler
-    so callers (and tests) can detach it again."""
+    so callers (and tests) can detach it again.
+
+    Idempotent: calling it again updates the level of the handler it
+    already installed rather than adding a second one (which would
+    duplicate every log line).
+    """
     logger = logging.getLogger(_ROOT)
+    for existing in logger.handlers:
+        if getattr(existing, _HANDLER_TAG, False):
+            existing.setLevel(level)
+            logger.setLevel(level)
+            return existing
     handler = logging.StreamHandler()
     handler.setFormatter(
         logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
     )
+    handler.setLevel(level)
+    setattr(handler, _HANDLER_TAG, True)
     logger.addHandler(handler)
     logger.setLevel(level)
     return handler

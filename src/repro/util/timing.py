@@ -1,4 +1,12 @@
-"""Wall-clock timing helper used by the benchmark harness."""
+"""Wall-clock timing helpers used by the benchmark harness and the
+run-trace subsystem.
+
+:class:`Timer` is backed by :func:`time.monotonic_ns` — an integer
+monotonic clock immune to system clock adjustments — so span timestamps
+recorded by :mod:`repro.obs.trace` are totally ordered within a process
+and never negative.  ``elapsed`` stays a float in seconds for backward
+compatibility with the benchmark harness.
+"""
 
 from __future__ import annotations
 
@@ -7,23 +15,84 @@ from types import TracebackType
 
 __all__ = ["Timer"]
 
+_NS_PER_S = 1_000_000_000
+
 
 class Timer:
-    """Context manager measuring elapsed wall-clock seconds.
+    """Monotonic timer usable as a context manager or start/stop pair.
 
     >>> with Timer() as t:
     ...     _ = sum(range(100))
     >>> t.elapsed >= 0.0
     True
+
+    Beyond the original context-manager form, a timer can be driven
+    explicitly (``start()`` / ``stop()``) and checkpointed with
+    :meth:`lap`, which returns the seconds since the previous lap (or
+    since ``start``) and appends it to :attr:`laps`:
+
+    >>> t = Timer().start()
+    >>> first = t.lap()
+    >>> second = t.lap()
+    >>> len(t.laps)
+    2
     """
 
-    def __init__(self) -> None:
-        self._start: float | None = None
-        self.elapsed: float = 0.0
+    __slots__ = ("start_ns", "stop_ns", "laps", "_last_lap_ns")
 
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+    def __init__(self) -> None:
+        self.start_ns: int | None = None
+        self.stop_ns: int | None = None
+        self.laps: list[float] = []
+        self._last_lap_ns: int | None = None
+
+    # ------------------------------------------------------------- control
+    def start(self) -> "Timer":
+        """Begin (or restart) timing; returns ``self`` for chaining."""
+        self.start_ns = time.monotonic_ns()
+        self.stop_ns = None
+        self.laps = []
+        self._last_lap_ns = self.start_ns
         return self
+
+    def stop(self) -> float:
+        """Freeze the timer and return the total elapsed seconds."""
+        if self.start_ns is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.stop_ns = time.monotonic_ns()
+        return self.elapsed
+
+    def lap(self) -> float:
+        """Checkpoint: seconds since the previous lap (or ``start``).
+
+        The value is appended to :attr:`laps` so a caller timing an
+        iterative kernel gets the full per-iteration series for free.
+        """
+        if self._last_lap_ns is None:
+            raise RuntimeError("Timer.lap() called before start()")
+        now = time.monotonic_ns()
+        delta = (now - self._last_lap_ns) / _NS_PER_S
+        self._last_lap_ns = now
+        self.laps.append(delta)
+        return delta
+
+    # ------------------------------------------------------------ readouts
+    @property
+    def elapsed_ns(self) -> int:
+        """Elapsed integer nanoseconds (to now if still running)."""
+        if self.start_ns is None:
+            return 0
+        end = self.stop_ns if self.stop_ns is not None else time.monotonic_ns()
+        return end - self.start_ns
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds (to now if still running)."""
+        return self.elapsed_ns / _NS_PER_S
+
+    # ------------------------------------------------------ context manager
+    def __enter__(self) -> "Timer":
+        return self.start()
 
     def __exit__(
         self,
@@ -31,5 +100,4 @@ class Timer:
         exc: BaseException | None,
         tb: TracebackType | None,
     ) -> None:
-        assert self._start is not None
-        self.elapsed = time.perf_counter() - self._start
+        self.stop()

@@ -169,6 +169,103 @@ class TestAnalyze:
         assert "error" in capsys.readouterr().err
 
 
+class TestTraceAndProfile:
+    def test_trace_out_writes_valid_jsonl(self, tmp_path, capsys):
+        graph_file = tmp_path / "g.txt"
+        main(
+            [
+                "generate",
+                "rmat",
+                "-o",
+                str(graph_file),
+                "--scale",
+                "7",
+                "--seed",
+                "2",
+            ]
+        )
+        trace_file = tmp_path / "trace.jsonl"
+        labels = tmp_path / "labels.txt"
+        rc = main(
+            [
+                "detect",
+                str(graph_file),
+                "-o",
+                str(labels),
+                "--trace-out",
+                str(trace_file),
+            ]
+        )
+        assert rc == 0
+        assert "trace:" in capsys.readouterr().err
+
+        from repro.obs import read_trace
+
+        data = read_trace(trace_file)
+        assert data.complete
+        assert data.meta["command"] == "detect"
+        assert data.meta["n_vertices"] > 0
+        levels = data.find("level")
+        assert levels
+        # every completed level carries its three phase spans
+        completed = {s.level for s in levels if "n_pairs" in s.attrs}
+        for phase in ("score", "match", "contract"):
+            have = {s.level for s in data.find(phase)}
+            assert completed <= have
+
+    def test_profile_prints_phase_table(self, karate_file, capsys):
+        rc = main(["detect", karate_file, "--profile"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "phase profile" in err
+        assert "contract %" in err
+        assert "contraction share of phase time:" in err
+
+    def test_trace_out_and_profile_together(self, karate_file, tmp_path, capsys):
+        trace_file = tmp_path / "t.jsonl"
+        rc = main(
+            ["detect", karate_file, "--trace-out", str(trace_file), "--profile"]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert trace_file.exists()
+        assert "phase profile" in err
+
+    def test_untraced_detect_has_no_trace_output(self, karate_file, capsys):
+        rc = main(["detect", karate_file])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "phase profile" not in err
+        assert "trace:" not in err
+
+    def test_bench_profile(self, tmp_path, capsys):
+        trace_file = tmp_path / "bench.jsonl"
+        rc = main(
+            [
+                "bench",
+                "figure1",
+                "--scale",
+                "0.02",
+                "--trace-out",
+                str(trace_file),
+                "--profile",
+            ]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "phase profile — rmat-24-16" in err
+
+        from repro.obs import read_trace
+
+        data = read_trace(trace_file)
+        assert data.meta["command"] == "bench"
+        runs = data.find("run")
+        assert {s.attrs["graph"] for s in runs} == {
+            "rmat-24-16",
+            "soc-LiveJournal1",
+        }
+
+
 class TestVerbose:
     def test_verbose_logs_levels(self, karate_file, capsys):
         rc = main(["--verbose", "detect", karate_file])

@@ -1,0 +1,206 @@
+"""Unit tests for JSONL trace export/import and the profile renderer."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.sinks import (
+    phase_totals,
+    read_trace,
+    render_profile,
+    write_trace,
+)
+from repro.obs.trace import SCHEMA_VERSION, NullTracer, Tracer
+
+
+def make_tracer(n_levels: int = 2) -> Tracer:
+    tr = Tracer()
+    with tr.span("run", graph="toy"):
+        for lvl in range(n_levels):
+            with tr.span(
+                "level", level=lvl, n_vertices=100 >> lvl, n_edges=400 >> lvl
+            ):
+                with tr.span("score", level=lvl) as sp:
+                    sp.set(items=400 >> lvl)
+                with tr.span("match", level=lvl):
+                    pass
+                with tr.span("contract", level=lvl):
+                    pass
+    tr.counter("levels").inc(n_levels)
+    tr.gauge("match.worklist_edges").set(37)
+    tr.histogram("h", edges=[1, 2]).observe(1.5)
+    return tr
+
+
+class TestRoundTrip:
+    def test_spans_survive(self, tmp_path):
+        tr = make_tracer()
+        path = tmp_path / "t.jsonl"
+        n = write_trace(tr, path, meta={"who": "test"})
+        data = read_trace(path)
+        assert data.complete
+        assert data.version == SCHEMA_VERSION
+        assert data.meta == {"who": "test"}
+        assert len(data.spans) == n == len(tr.spans)
+        for orig, loaded in zip(tr.spans, data.spans):
+            assert loaded.name == orig.name
+            assert loaded.span_id == orig.span_id
+            assert loaded.parent_id == orig.parent_id
+            assert loaded.level == orig.level
+            assert loaded.start_ns == orig.start_ns
+            assert loaded.end_ns == orig.end_ns
+            assert loaded.items == orig.items
+            assert loaded.attrs == orig.attrs
+
+    def test_metrics_survive(self, tmp_path):
+        tr = make_tracer()
+        path = tmp_path / "t.jsonl"
+        write_trace(tr, path)
+        data = read_trace(path)
+        assert data.counters == {"levels": 2}
+        assert data.gauges["match.worklist_edges"]["value"] == 37
+        assert data.histograms["h"]["edges"] == [1, 2]
+        assert data.histograms["h"]["counts"] == [0, 1, 0]
+
+    def test_jsonl_one_object_per_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(make_tracer(), path)
+        lines = path.read_text().strip().splitlines()
+        events = [json.loads(ln) for ln in lines]
+        assert events[0]["event"] == "header"
+        assert events[0]["schema"] == "repro-run-trace"
+        assert events[-1]["event"] == "end"
+
+    def test_null_tracer_writes_valid_empty_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        assert write_trace(NullTracer(), path) == 0
+        data = read_trace(path)
+        assert data.complete
+        assert data.spans == []
+
+    def test_find(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(make_tracer(3), path)
+        data = read_trace(path)
+        assert len(data.find("contract")) == 3
+
+
+class TestReadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read"):
+            read_trace(tmp_path / "nope.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        p.write_text("")
+        with pytest.raises(ReproError, match="empty"):
+            read_trace(p)
+
+    def test_not_jsonl(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        p.write_text("this is not json\n")
+        with pytest.raises(ReproError, match="not valid JSONL"):
+            read_trace(p)
+
+    def test_wrong_schema(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        p.write_text(json.dumps({"event": "header", "schema": "other"}) + "\n")
+        with pytest.raises(ReproError, match="not a repro-run-trace"):
+            read_trace(p)
+
+    def test_wrong_version(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        p.write_text(
+            json.dumps(
+                {"event": "header", "schema": "repro-run-trace", "version": 99}
+            )
+            + "\n"
+        )
+        with pytest.raises(ReproError, match="unsupported trace version"):
+            read_trace(p)
+
+    def test_truncated_trace_not_complete(self, tmp_path):
+        full = tmp_path / "full.jsonl"
+        write_trace(make_tracer(), full)
+        lines = full.read_text().strip().splitlines()
+        cut = tmp_path / "cut.jsonl"
+        cut.write_text("\n".join(lines[:-1]) + "\n")  # drop the trailer
+        assert not read_trace(cut).complete
+
+    def test_span_count_mismatch(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        p.write_text(
+            json.dumps(
+                {"event": "header", "schema": "repro-run-trace", "version": 1}
+            )
+            + "\n"
+            + json.dumps({"event": "end", "n_spans": 7})
+            + "\n"
+        )
+        with pytest.raises(ReproError, match="trailer"):
+            read_trace(p)
+
+
+class TestPhaseTotals:
+    def test_sums_and_share(self):
+        tr = make_tracer()
+        totals = phase_totals(list(tr.spans))
+        assert set(totals) == {
+            "score",
+            "match",
+            "contract",
+            "total",
+            "contract_share",
+        }
+        assert totals["total"] == pytest.approx(
+            totals["score"] + totals["match"] + totals["contract"]
+        )
+        assert 0.0 <= totals["contract_share"] <= 1.0
+
+    def test_empty(self):
+        totals = phase_totals([])
+        assert totals["total"] == 0.0
+        assert totals["contract_share"] == 0.0
+
+
+class TestRenderProfile:
+    def test_table_contents(self):
+        tr = make_tracer(2)
+        out = render_profile(list(tr.spans))
+        assert "phase profile — toy" in out
+        assert "score ms" in out
+        assert "contract %" in out
+        assert "contraction share of phase time:" in out
+        # one row per level plus the totals row
+        assert out.count("\n") >= 5
+
+    def test_level_attrs_rendered(self):
+        tr = make_tracer(1)
+        out = render_profile(list(tr.spans))
+        assert "100" in out  # n_vertices of level 0
+        assert "400" in out  # n_edges of level 0
+
+    def test_no_spans(self):
+        assert "no spans" in render_profile([])
+
+    def test_spans_without_phases(self):
+        tr = Tracer()
+        with tr.span("something_else"):
+            pass
+        assert "no phase spans" in render_profile(list(tr.spans))
+
+    def test_multiple_runs_get_separate_tables(self):
+        tr = Tracer()
+        for gname in ("g1", "g2"):
+            with tr.span("run", graph=gname):
+                with tr.span("level", level=0):
+                    with tr.span("score", level=0):
+                        pass
+                    with tr.span("match", level=0):
+                        pass
+                    with tr.span("contract", level=0):
+                        pass
+        out = render_profile(list(tr.spans))
+        assert "phase profile — g1" in out
+        assert "phase profile — g2" in out

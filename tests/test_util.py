@@ -60,6 +60,56 @@ class TestTimer:
             sum(range(1000))
         assert t.elapsed >= 0.0
 
+    def test_monotonic_ns_backing(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert isinstance(t.start_ns, int)
+        assert isinstance(t.stop_ns, int)
+        assert t.stop_ns >= t.start_ns
+        assert t.elapsed_ns == t.stop_ns - t.start_ns
+        assert t.elapsed == pytest.approx(t.elapsed_ns / 1e9)
+
+    def test_start_stop_explicit(self):
+        t = Timer()
+        assert t.start() is t
+        elapsed = t.stop()
+        assert elapsed >= 0.0
+        assert t.elapsed == elapsed
+
+    def test_lap_checkpoints(self):
+        t = Timer().start()
+        a = t.lap()
+        sum(range(10_000))
+        b = t.lap()
+        assert a >= 0.0 and b >= 0.0
+        assert t.laps == [a, b]
+        # laps are disjoint intervals, so they can't exceed the total
+        assert sum(t.laps) <= t.elapsed + 1e-6
+
+    def test_lap_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().lap()
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_elapsed_while_running(self):
+        t = Timer().start()
+        first = t.elapsed
+        sum(range(10_000))
+        assert t.elapsed >= first
+
+    def test_unstarted_elapsed_is_zero(self):
+        assert Timer().elapsed == 0.0
+        assert Timer().elapsed_ns == 0
+
+    def test_restart_clears_laps(self):
+        t = Timer().start()
+        t.lap()
+        t.start()
+        assert t.laps == []
+
 
 class TestArrays:
     def test_group_reduce_sum(self):
@@ -130,3 +180,33 @@ class TestLogging:
             assert handler in logging.getLogger("repro").handlers
         finally:
             logging.getLogger("repro").removeHandler(handler)
+
+    def test_enable_console_logging_idempotent(self):
+        import logging
+
+        from repro.util.log import enable_console_logging
+
+        logger = logging.getLogger("repro")
+        before = len(logger.handlers)
+        first = enable_console_logging(logging.INFO)
+        try:
+            second = enable_console_logging(logging.DEBUG)
+            assert second is first  # reused, not stacked
+            assert len(logger.handlers) == before + 1
+            assert first.level == logging.DEBUG  # level updated in place
+        finally:
+            logger.removeHandler(first)
+
+    def test_enable_console_logging_reattaches_after_detach(self):
+        import logging
+
+        from repro.util.log import enable_console_logging
+
+        logger = logging.getLogger("repro")
+        first = enable_console_logging()
+        logger.removeHandler(first)
+        second = enable_console_logging()
+        try:
+            assert second in logger.handlers
+        finally:
+            logger.removeHandler(second)
