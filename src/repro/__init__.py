@@ -33,6 +33,7 @@ from repro import (
     parallel,
     platform,
     pregel,
+    resilience,
     spmatrix,
     util,
 )
@@ -49,6 +50,7 @@ from repro.graph import CommunityGraph, from_edges, largest_component
 from repro.metrics import Partition, coverage, modularity
 from repro.obs import Tracer, read_trace, render_profile, write_trace
 from repro.platform import TraceRecorder, get_machine, simulate_time
+from repro.resilience import RecoveryReport, RetryPolicy
 
 __version__ = "1.0.0"
 
@@ -67,6 +69,7 @@ __all__ = [
     "parallel",
     "platform",
     "pregel",
+    "resilience",
     "spmatrix",
     "util",
     # headline API
@@ -90,4 +93,6 @@ __all__ = [
     "write_trace",
     "read_trace",
     "render_profile",
+    "RecoveryReport",
+    "RetryPolicy",
 ]

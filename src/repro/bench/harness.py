@@ -96,12 +96,16 @@ def run_with_trace(
     matcher: Literal["worklist", "sweep"] = "worklist",
     contractor: Literal["bucket", "chains"] = "bucket",
     tracer: Tracer | NullTracer | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> TracedRun:
     """Run detection with a fresh recorder (and optional tracer) attached.
 
     The wall-clock spans are rooted under a ``"run"`` span stamped with
     the graph name so several runs can share one tracer (the bench
-    exhibits sweep multiple graphs).
+    exhibits sweep multiple graphs).  ``checkpoint_dir``/``resume`` pass
+    straight through to :func:`~repro.core.agglomeration.detect_communities`
+    so long benchmark runs survive interruption (see docs/RESILIENCE.md).
     """
     recorder = TraceRecorder()
     tr = as_tracer(tracer)
@@ -114,6 +118,8 @@ def run_with_trace(
             contractor=contractor,
             recorder=recorder,
             tracer=tr,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
         )
         sp.set(
             items=graph.n_edges,

@@ -104,6 +104,9 @@ def _save_graph(graph: CommunityGraph, path: str, fmt: str) -> None:
 
 # ----------------------------------------------------------------- detect
 def _cmd_detect(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     graph = _load_graph(args.input, args.format)
     termination = TerminationCriteria(
         coverage=args.coverage if args.coverage >= 0 else None,
@@ -114,15 +117,31 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
 
     if args.algorithm == "parallel":
+        scorer = _SCORERS[args.scorer]()
+        if args.workers > 1:
+            if args.scorer == "modularity":
+                from repro.parallel import ParallelModularityScorer
+
+                scorer = ParallelModularityScorer(
+                    args.workers, tracer=tracer
+                )
+            else:
+                print(
+                    f"note: --workers applies to the modularity scorer "
+                    f"only; scoring {args.scorer} in-process",
+                    file=sys.stderr,
+                )
         tr = as_tracer(tracer)
         with tr.span("run", graph=args.input, algorithm="parallel") as rsp:
             result = detect_communities(
                 graph,
-                _SCORERS[args.scorer](),
+                scorer,
                 termination=termination,
                 matcher=args.matcher,
                 contractor=args.contractor,
                 tracer=tracer,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
             )
             rsp.set(
                 items=graph.n_edges,
@@ -135,6 +154,10 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             f"terminated by {result.terminated_by}",
             file=sys.stderr,
         )
+        if args.checkpoint_dir or result.recovery.any_recovery():
+            print(
+                f"resilience: {result.recovery.summary()}", file=sys.stderr
+            )
     elif args.algorithm == "cnm":
         partition, _ = cnm_communities(graph)
     elif args.algorithm == "louvain":
@@ -360,6 +383,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-levels", type=int, default=None)
     p.add_argument("--refine", action="store_true", help="run local refinement")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="score each level on a supervised worker-process pool "
+        "(modularity scorer only; see docs/RESILIENCE.md)",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="persist the loop state after every level for crash recovery",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the newest valid checkpoint in --checkpoint-dir",
+    )
     p.add_argument(
         "--trace-out",
         metavar="PATH",

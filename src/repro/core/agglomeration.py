@@ -15,7 +15,8 @@ distinguishes the platforms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Literal
 
 import numpy as np
@@ -27,13 +28,16 @@ from repro.core.matching import (
     match_full_sweep,
     match_locally_dominant,
 )
-from repro.core.scoring import EdgeScorer, ModularityScorer
+from repro.core.scoring import EdgeScorer, ModularityScorer, validate_scores
 from repro.core.termination import TerminationCriteria
+from repro.errors import CheckpointError
 from repro.graph.graph import CommunityGraph
 from repro.metrics.modularity import community_graph_modularity
 from repro.metrics.partition import Partition
 from repro.obs.trace import NullTracer, Tracer, as_tracer
 from repro.platform.kernels import TraceRecorder
+from repro.resilience.checkpoint import CheckpointManager, CheckpointState
+from repro.resilience.report import RecoveryReport
 from repro.types import NO_VERTEX, VERTEX_DTYPE
 from repro.util.log import get_logger
 
@@ -79,6 +83,7 @@ class AgglomerationResult:
     terminated_by: str = ""
     final_graph: CommunityGraph | None = None
     scorer_name: str = ""
+    recovery: RecoveryReport = field(default_factory=RecoveryReport)
 
     @property
     def n_communities(self) -> int:
@@ -127,6 +132,9 @@ def detect_communities(
     recorder: TraceRecorder | None = None,
     tracer: Tracer | NullTracer | None = None,
     progress: Callable[[LevelStats], None] | None = None,
+    checkpoint_dir: str | os.PathLike | None = None,
+    resume: bool = False,
+    checkpoint_every: int = 1,
 ) -> AgglomerationResult:
     """Detect communities by parallel agglomeration.
 
@@ -147,22 +155,38 @@ def detect_communities(
     tracer:
         Optional :class:`repro.obs.Tracer` recording real wall-clock
         spans (one ``"level"`` span per level with ``"score"`` /
-        ``"match"`` / ``"contract"`` children).  ``None`` uses the
-        zero-overhead :data:`~repro.obs.NULL_TRACER`.
+        ``"match"`` / ``"contract"`` children, plus a
+        ``"checkpoint_write"`` span per persisted level).  ``None`` uses
+        the zero-overhead :data:`~repro.obs.NULL_TRACER`.
     progress:
         Optional callback invoked with each level's :class:`LevelStats`
         as it completes (long runs, CLI verbosity).
+    checkpoint_dir:
+        When set, atomically persist the loop state after every
+        ``checkpoint_every``-th completed level (see
+        :mod:`repro.resilience.checkpoint`).
+    resume:
+        Restart from the newest valid checkpoint in ``checkpoint_dir``
+        (requires ``checkpoint_dir``); truncated or corrupt checkpoint
+        files are skipped and counted, and an empty directory starts a
+        fresh run.
+    checkpoint_every:
+        Persist every N-th level (default: every level).
 
     Returns
     -------
     AgglomerationResult
         Final partition of the input graph, dendrogram, per-level stats,
-        the terminal community graph and the reason the loop stopped.
+        the terminal community graph, the reason the loop stopped, and
+        the :class:`~repro.resilience.RecoveryReport` of recovery actions
+        taken along the way.
     """
     if scorer is None:
         scorer = ModularityScorer()
     if termination is None:
         termination = TerminationCriteria.paper_experiments()
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be at least 1")
     try:
         match_fn = _MATCHERS[matcher]
     except KeyError:
@@ -173,12 +197,43 @@ def detect_communities(
         raise ValueError(f"unknown contractor {contractor!r}") from None
 
     tr = as_tracer(tracer)
+    recovery = RecoveryReport()
+    manager = (
+        CheckpointManager(checkpoint_dir) if checkpoint_dir is not None else None
+    )
+
     current = graph.copy()
     dendrogram = Dendrogram(graph.n_vertices)
     levels: list[LevelStats] = []
     # Input vertices per community, for the max_community_size veto.
     member_counts = np.ones(graph.n_vertices, dtype=VERTEX_DTYPE)
     terminated_by = "local_maximum"
+
+    if resume:
+        if manager is None:
+            raise ValueError("resume=True requires checkpoint_dir")
+        state, n_invalid = manager.load_latest()
+        recovery.checkpoints_invalid += n_invalid
+        if state is not None:
+            if state.n_input_vertices != graph.n_vertices:
+                raise CheckpointError(
+                    f"checkpoint covers {state.n_input_vertices} input "
+                    f"vertices but the graph has {graph.n_vertices}"
+                )
+            current = state.graph
+            dendrogram = Dendrogram(graph.n_vertices)
+            for mapping in state.maps:
+                dendrogram.push(mapping)
+            member_counts = np.asarray(
+                state.member_counts, dtype=VERTEX_DTYPE
+            )
+            levels = [LevelStats(**d) for d in state.level_stats]
+            recovery.resumed_from_level = state.level
+            _log.info(
+                "resumed from checkpoint level %d (%d communities)",
+                state.level,
+                current.n_vertices,
+            )
 
     while True:
         if current.n_vertices <= termination.min_communities:
@@ -198,7 +253,11 @@ def detect_communities(
             "level", level=level_idx, n_vertices=entering_v, n_edges=entering_e
         ) as level_span:
             with tr.span("score", level=level_idx) as sp:
-                scores = scorer.score(current, recorder)
+                # Built-in scorers validate their own output; this covers
+                # protocol implementations supplied by callers too.
+                scores = validate_scores(
+                    scorer.score(current, recorder), scorer=scorer.name
+                )
                 if termination.max_community_size is not None:
                     e = current.edges
                     too_big = (
@@ -267,6 +326,24 @@ def detect_communities(
             )
         tr.histogram("agglomeration.matching_passes").observe(matching.passes)
         levels.append(stats)
+        if manager is not None and len(levels) % checkpoint_every == 0:
+            with tr.span("checkpoint_write", level=level_idx) as sp:
+                path = manager.save(
+                    CheckpointState(
+                        level=len(levels),
+                        graph=current,
+                        maps=list(dendrogram.maps),
+                        member_counts=member_counts,
+                        level_stats=[asdict(s) for s in levels],
+                        scorer_name=scorer.name,
+                    )
+                )
+                sp.set(
+                    path=str(path),
+                    n_communities=current.n_vertices,
+                )
+            recovery.checkpoints_written += 1
+            tr.counter("resilience.checkpoints_written").inc()
         _log.info(
             "level %d: %d -> %d communities, coverage %.3f",
             stats.level,
@@ -287,6 +364,13 @@ def detect_communities(
             terminated_by = "stalled"
             break
 
+    # Fold pool-level recovery accounting (e.g. ParallelModularityScorer)
+    # into the run's report; use a fresh scorer per run to avoid carrying
+    # counts across runs.
+    scorer_report = getattr(scorer, "report", None)
+    if isinstance(scorer_report, RecoveryReport):
+        recovery.merge(scorer_report)
+
     return AgglomerationResult(
         partition=dendrogram.final_partition(),
         dendrogram=dendrogram,
@@ -294,4 +378,5 @@ def detect_communities(
         terminated_by=terminated_by,
         final_graph=current,
         scorer_name=scorer.name,
+        recovery=recovery,
     )

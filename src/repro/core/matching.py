@@ -104,6 +104,7 @@ def _run_passes(
     *,
     legacy_sweep: bool,
     tracer: Tracer | NullTracer | None = None,
+    max_passes: int | None = None,
 ) -> MatchingResult:
     tr = as_tracer(tracer)
     worklist_gauge = tr.gauge("match.worklist_edges")
@@ -118,7 +119,10 @@ def _run_passes(
     unmatched = np.ones(n, dtype=bool)
     total_failed = 0
     passes = 0
-    max_passes = 2 * n + 4  # worst case one pair per pass
+    if max_passes is None:
+        max_passes = 2 * n + 4  # worst case one pair per pass
+    elif max_passes < 0:
+        raise ValueError("max_passes must be non-negative")
 
     live = candidates
     while len(live):
@@ -240,10 +244,20 @@ def match_locally_dominant(
     recorder: TraceRecorder | None = None,
     *,
     tracer: Tracer | NullTracer | None = None,
+    max_passes: int | None = None,
 ) -> MatchingResult:
-    """The paper's improved worklist matching (see module docstring)."""
+    """The paper's improved worklist matching (see module docstring).
+
+    ``max_passes`` overrides the default ``2|V| + 4`` pass budget
+    (exceeding it raises :class:`~repro.errors.ConvergenceError`).
+    """
     return _run_passes(
-        graph, scores, recorder, legacy_sweep=False, tracer=tracer
+        graph,
+        scores,
+        recorder,
+        legacy_sweep=False,
+        tracer=tracer,
+        max_passes=max_passes,
     )
 
 
@@ -253,14 +267,21 @@ def match_full_sweep(
     recorder: TraceRecorder | None = None,
     *,
     tracer: Tracer | NullTracer | None = None,
+    max_passes: int | None = None,
 ) -> MatchingResult:
     """The legacy whole-edge-array sweep matching from the 2011 paper [4].
 
     Identical output to :func:`match_locally_dominant`; records the
     hot-spot-heavy execution profile for the ablation benchmarks.
+    ``max_passes`` overrides the default ``2|V| + 4`` pass budget.
     """
     return _run_passes(
-        graph, scores, recorder, legacy_sweep=True, tracer=tracer
+        graph,
+        scores,
+        recorder,
+        legacy_sweep=True,
+        tracer=tracer,
+        max_passes=max_passes,
     )
 
 

@@ -25,6 +25,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.errors import ScoreValidationError
 from repro.graph.graph import CommunityGraph
 from repro.platform.kernels import KernelRecord, TraceRecorder
 from repro.types import SCORE_DTYPE
@@ -34,7 +35,31 @@ __all__ = [
     "ModularityScorer",
     "ConductanceScorer",
     "WeightScorer",
+    "validate_scores",
 ]
+
+
+def validate_scores(
+    scores: np.ndarray, *, scorer: str = "scorer"
+) -> np.ndarray:
+    """Reject NaN/inf scorer output; returns ``scores`` unchanged when clean.
+
+    A NaN score breaks the matching's total order silently (every
+    comparison is false, so NaN edges vanish from candidate sets and can
+    starve the worklist), so non-finite output is a hard
+    :class:`~repro.errors.ScoreValidationError` at the source.  The
+    ``-inf`` veto the driver applies *after* scoring is exempt by
+    construction — it never passes through this check.
+    """
+    finite = np.isfinite(scores)
+    if not finite.all():
+        bad = int(len(scores) - np.count_nonzero(finite))
+        first = int(np.argmin(finite))
+        raise ScoreValidationError(
+            f"{scorer}: {bad} non-finite score(s) out of {len(scores)} "
+            f"(first at edge {first}: {scores[first]!r})"
+        )
+    return scores
 
 
 @runtime_checkable
@@ -85,7 +110,9 @@ class ModularityScorer:
         vol = graph.strengths()
         scores = e.w / w_total - vol[e.ei] * vol[e.ej] / (2.0 * w_total**2)
         _record_scoring(recorder, graph, self.name)
-        return scores.astype(SCORE_DTYPE, copy=False)
+        return validate_scores(
+            scores.astype(SCORE_DTYPE, copy=False), scorer=self.name
+        )
 
 
 class ConductanceScorer:
@@ -126,7 +153,10 @@ class ConductanceScorer:
         vol_merged = vol[e.ei] + vol[e.ej]
         phi_merged = phi(cut_merged, vol_merged)
         _record_scoring(recorder, graph, self.name)
-        return (phi_i + phi_j - phi_merged).astype(SCORE_DTYPE, copy=False)
+        return validate_scores(
+            (phi_i + phi_j - phi_merged).astype(SCORE_DTYPE, copy=False),
+            scorer=self.name,
+        )
 
 
 class WeightScorer:
@@ -142,4 +172,6 @@ class WeightScorer:
         self, graph: CommunityGraph, recorder: TraceRecorder | None = None
     ) -> np.ndarray:
         _record_scoring(recorder, graph, self.name)
-        return graph.edges.w.astype(SCORE_DTYPE)
+        return validate_scores(
+            graph.edges.w.astype(SCORE_DTYPE), scorer=self.name
+        )

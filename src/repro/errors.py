@@ -10,9 +10,13 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "GraphFormatError",
+    "GraphFormatWarning",
     "InvariantViolation",
+    "ScoreValidationError",
     "ConvergenceError",
     "PlatformModelError",
+    "CheckpointError",
+    "ChunkFailureError",
 ]
 
 
@@ -24,6 +28,14 @@ class GraphFormatError(ReproError):
     """A graph file or in-memory representation is malformed."""
 
 
+class GraphFormatWarning(UserWarning):
+    """Malformed input lines were skipped in non-strict parsing mode.
+
+    Emitted once per file with the count of skipped lines, so lossy loads
+    are visible without aborting the run.
+    """
+
+
 class InvariantViolation(ReproError):
     """An internal data-structure invariant was violated.
 
@@ -33,9 +45,37 @@ class InvariantViolation(ReproError):
     """
 
 
+class ScoreValidationError(InvariantViolation):
+    """An edge scorer produced non-finite (NaN/inf) scores.
+
+    Scorer outputs must be finite; the only legitimate non-finite score is
+    the ``-inf`` veto the driver applies *after* scoring (the
+    ``max_community_size`` constraint).  NaN scores silently break the
+    matching's total order, so they are rejected at the source.
+    """
+
+
 class ConvergenceError(ReproError):
     """An iterative algorithm failed to converge within its pass budget."""
 
 
 class PlatformModelError(ReproError):
     """A platform/machine model was misconfigured or queried out of range."""
+
+
+class CheckpointError(ReproError):
+    """A run checkpoint is missing, truncated, or fails validation.
+
+    Raised by :mod:`repro.resilience.checkpoint` when a specific checkpoint
+    cannot be loaded; ``load_latest`` catches it per-file and falls back to
+    the newest checkpoint that *does* validate.
+    """
+
+
+class ChunkFailureError(ReproError):
+    """A pool chunk failed even after retries and in-process fallback.
+
+    This is the unrecoverable end of the :class:`repro.resilience.RetryPolicy`
+    escalation ladder; seeing it means the failure is deterministic in the
+    chunk itself (bad input, bug), not worker-process flakiness.
+    """

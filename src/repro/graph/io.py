@@ -13,12 +13,14 @@ Three formats cover the paper's data pipeline:
 
 from __future__ import annotations
 
+import math
 import os
+import warnings
 from typing import Iterable
 
 import numpy as np
 
-from repro.errors import GraphFormatError
+from repro.errors import GraphFormatError, GraphFormatWarning
 from repro.graph.build import from_edges
 from repro.graph.csr import CSRAdjacency
 from repro.graph.edgelist import EdgeList
@@ -36,16 +38,57 @@ __all__ = [
 
 
 # --------------------------------------------------------------- edge lists
-def read_edgelist(path: str | os.PathLike, *, weighted: bool | None = None) -> CommunityGraph:
+def _parse_vertex(path: object, lineno: int, token: str) -> int:
+    try:
+        v = int(token)
+    except ValueError:
+        raise GraphFormatError(
+            f"{path}:{lineno}: bad vertex id {token!r}"
+        ) from None
+    if v < 0:
+        raise GraphFormatError(
+            f"{path}:{lineno}: negative vertex id {token!r}"
+        )
+    return v
+
+
+def _parse_weight(path: object, lineno: int, token: str) -> float:
+    try:
+        w = float(token)
+    except ValueError:
+        raise GraphFormatError(
+            f"{path}:{lineno}: bad edge weight {token!r}"
+        ) from None
+    if not math.isfinite(w):
+        raise GraphFormatError(
+            f"{path}:{lineno}: non-finite edge weight {token!r}"
+        )
+    return w
+
+
+def read_edgelist(
+    path: str | os.PathLike,
+    *,
+    weighted: bool | None = None,
+    strict: bool = True,
+) -> CommunityGraph:
     """Read a SNAP-style whitespace edge list.
 
     ``weighted=None`` auto-detects a third column from the first data line.
     Vertex ids must be non-negative integers; they are used directly (the
     graph gets ``max_id + 1`` vertices).
+
+    Malformed lines raise :class:`~repro.errors.GraphFormatError` naming
+    the file, 1-based line number, and offending token.  With
+    ``strict=False`` bad lines are skipped instead and a single
+    :class:`~repro.errors.GraphFormatWarning` reports how many were
+    dropped — scraped social-network dumps routinely carry a few
+    truncated lines that shouldn't abort an hours-long benchmark load.
     """
     srcs: list[int] = []
     dsts: list[int] = []
     wgts: list[float] = []
+    skipped = 0
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, 1):
             line = line.strip()
@@ -54,20 +97,34 @@ def read_edgelist(path: str | os.PathLike, *, weighted: bool | None = None) -> C
             parts = line.split()
             if weighted is None:
                 weighted = len(parts) >= 3
-            if len(parts) < 2 or (weighted and len(parts) < 3):
-                raise GraphFormatError(f"{path}:{lineno}: malformed edge line {line!r}")
             try:
-                srcs.append(int(parts[0]))
-                dsts.append(int(parts[1]))
-                if weighted:
-                    wgts.append(float(parts[2]))
-            except ValueError as exc:
-                raise GraphFormatError(f"{path}:{lineno}: {exc}") from exc
+                if len(parts) < 2 or (weighted and len(parts) < 3):
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: malformed edge line {line!r}"
+                    )
+                src = _parse_vertex(path, lineno, parts[0])
+                dst = _parse_vertex(path, lineno, parts[1])
+                wgt = (
+                    _parse_weight(path, lineno, parts[2]) if weighted else 1.0
+                )
+            except GraphFormatError:
+                if strict:
+                    raise
+                skipped += 1
+                continue
+            srcs.append(src)
+            dsts.append(dst)
+            if weighted:
+                wgts.append(wgt)
+    if skipped:
+        warnings.warn(
+            f"{path}: skipped {skipped} malformed edge line(s)",
+            GraphFormatWarning,
+            stacklevel=2,
+        )
     i = np.asarray(srcs, dtype=VERTEX_DTYPE)
     j = np.asarray(dsts, dtype=VERTEX_DTYPE)
     w = np.asarray(wgts, dtype=WEIGHT_DTYPE) if weighted else None
-    if len(i) and min(i.min(), j.min()) < 0:
-        raise GraphFormatError(f"{path}: negative vertex id")
     return from_edges(i, j, w)
 
 
@@ -96,24 +153,38 @@ def read_metis(path: str | os.PathLike) -> CommunityGraph:
     with open(path, "r", encoding="utf-8") as fh:
         lines = fh.read().splitlines()
     # Keep blank lines (an isolated vertex has an empty adjacency row);
-    # drop only comments.
-    rows = [ln.strip() for ln in lines if not ln.lstrip().startswith("%")]
-    while rows and not rows[0]:
+    # drop only comments.  Original 1-based line numbers ride along so
+    # format errors point at the real file location.
+    rows = [
+        (lineno, ln.strip())
+        for lineno, ln in enumerate(lines, 1)
+        if not ln.lstrip().startswith("%")
+    ]
+    while rows and not rows[0][1]:
         rows = rows[1:]
     if not rows:
         raise GraphFormatError(f"{path}: empty METIS file")
     # Trailing blank lines beyond the declared vertex count are tolerated.
-    header = rows[0].split()
+    header_lineno, header_text = rows[0]
+    header = header_text.split()
     if len(header) < 2:
-        raise GraphFormatError(f"{path}: bad METIS header {rows[0]!r}")
-    n = int(header[0])
-    m_declared = int(header[1])
+        raise GraphFormatError(
+            f"{path}:{header_lineno}: bad METIS header {header_text!r}"
+        )
+    try:
+        n = int(header[0])
+        m_declared = int(header[1])
+    except ValueError:
+        raise GraphFormatError(
+            f"{path}:{header_lineno}: non-numeric METIS header "
+            f"{header_text!r}"
+        ) from None
     fmt = header[2] if len(header) > 2 else "0"
     has_edge_weights = fmt.endswith("1")
     if len(fmt) >= 2 and fmt[-2] == "1":
         raise GraphFormatError(f"{path}: vertex weights unsupported (fmt={fmt})")
     body = rows[1:]
-    while len(body) > n and not body[-1]:
+    while len(body) > n and not body[-1][1]:
         body.pop()
     if len(body) != n:
         raise GraphFormatError(
@@ -124,16 +195,28 @@ def read_metis(path: str | os.PathLike) -> CommunityGraph:
     srcs: list[int] = []
     dsts: list[int] = []
     wgts: list[float] = []
-    for v, row in enumerate(body):
+    for v, (lineno, row) in enumerate(body):
         fields = row.split()
         step = 2 if has_edge_weights else 1
         if has_edge_weights and len(fields) % 2:
-            raise GraphFormatError(f"{path}: odd field count on weighted line {v + 2}")
+            raise GraphFormatError(
+                f"{path}:{lineno}: odd field count on weighted adjacency "
+                f"line for vertex {v + 1}"
+            )
         for k in range(0, len(fields), step):
-            u = int(fields[k]) - 1
+            try:
+                u = int(fields[k]) - 1
+            except ValueError:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: bad neighbor id {fields[k]!r}"
+                ) from None
             if not 0 <= u < n:
-                raise GraphFormatError(f"{path}: neighbor {u + 1} out of range")
-            w = float(fields[k + 1]) if has_edge_weights else 1.0
+                raise GraphFormatError(
+                    f"{path}:{lineno}: neighbor {u + 1} out of range"
+                )
+            w = 1.0
+            if has_edge_weights:
+                w = _parse_weight(path, lineno, fields[k + 1])
             # Each undirected edge appears in both endpoint rows; keep one.
             if u > v or u == v:
                 srcs.append(v)

@@ -13,7 +13,12 @@ from repro.parallel.primitives import (
     segmented_min_at,
     prefix_sum,
 )
-from repro.parallel.pool import SharedArrayPool, parallel_edge_scores
+from repro.parallel.pool import (
+    ParallelModularityScorer,
+    SharedArrayPool,
+    SharedOutput,
+    parallel_edge_scores,
+)
 
 __all__ = [
     "chunk_ranges",
@@ -22,5 +27,7 @@ __all__ = [
     "segmented_min_at",
     "prefix_sum",
     "SharedArrayPool",
+    "SharedOutput",
     "parallel_edge_scores",
+    "ParallelModularityScorer",
 ]

@@ -1,4 +1,4 @@
-"""Process-pool execution over shared memory: the GIL workaround.
+"""Process-pool execution over shared memory: the GIL workaround, hardened.
 
 The paper's OpenMP port runs flat loops over shared arrays from many
 threads.  CPython's GIL forbids that with threads, so this module
@@ -7,28 +7,62 @@ inherit the input arrays copy-on-write and write results into a
 :class:`multiprocessing.shared_memory.SharedMemory` output block —
 zero-copy in both directions.
 
+This layer is also where execution fails ugly in production, so
+:class:`SharedArrayPool` supervises its workers instead of trusting them:
+
+* each chunk runs in its own worker process whose **exit code and
+  sentinel** are monitored — a crashed worker is detected, not hung on;
+* failed chunks are **re-executed** with capped exponential backoff and
+  an optional **per-chunk deadline** (see
+  :class:`repro.resilience.RetryPolicy`);
+* chunk outputs can be **validated parent-side** (NaN/inf scans), so
+  silent corruption is treated like a crash;
+* a chunk that exhausts its retry budget **degrades to in-process
+  execution** in the parent rather than failing the run;
+* every recovery action is counted in a
+  :class:`repro.resilience.RecoveryReport` and mirrored to the tracer's
+  ``resilience.*`` counters.
+
+Because chunks write disjoint slices of the output block, re-execution
+is idempotent: a recovered run is bit-identical to a fault-free one.
+
 :func:`parallel_edge_scores` applies the pattern to the scoring kernel
-(the naturally data-parallel stage).  On a single-core box this adds
-process overhead rather than speed; it exists so the library is actually
-multi-core capable where cores exist, and it is integration-tested with
-small worker counts.
+(the naturally data-parallel stage), and
+:class:`ParallelModularityScorer` wraps it in the
+:class:`~repro.core.scoring.EdgeScorer` protocol so the whole
+agglomeration pipeline can run on the supervised pool.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
+import os
+import time
+import weakref
+from dataclasses import dataclass
 from multiprocessing import shared_memory
+from multiprocessing.connection import wait as _sentinel_wait
 from typing import Callable
 
 import numpy as np
 
+from repro.errors import ChunkFailureError
 from repro.graph.graph import CommunityGraph
 from repro.obs.trace import NullTracer, Tracer, as_tracer
 from repro.parallel.chunks import chunk_ranges
+from repro.platform.kernels import TraceRecorder
+from repro.resilience.faults import FaultPlan
+from repro.resilience.report import RecoveryReport
+from repro.resilience.retry import RetryPolicy
 from repro.types import SCORE_DTYPE
-from repro.util.timing import Timer
 
-__all__ = ["SharedArrayPool", "parallel_edge_scores"]
+__all__ = [
+    "SharedOutput",
+    "SharedArrayPool",
+    "parallel_edge_scores",
+    "ParallelModularityScorer",
+]
 
 # Worker-side state installed by the fork (inherited globals).
 _WORK: dict[str, object] = {}
@@ -52,11 +86,107 @@ def _score_chunk(args: tuple[str, int, int]) -> None:
         shm.close()
 
 
+def _release_segment(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink a segment, tolerating live views and double frees.
+
+    A still-exported ndarray view makes ``close()`` raise ``BufferError``;
+    the mapping then lives until the view dies, but the *named segment*
+    must still be unlinked so nothing leaks past the process.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+class SharedOutput:
+    """A shared-memory output block with guaranteed close+unlink.
+
+    Cleanup runs on ``with``-exit *and* via a ``weakref.finalize``
+    finalizer, so the named segment is released on every exit path —
+    exceptions, early returns, or the owner simply being garbage
+    collected — and never trips a ``resource_tracker`` leak warning.
+    """
+
+    def __init__(self, n_items: int, dtype: np.dtype | type) -> None:
+        self.n_items = int(n_items)
+        self.dtype = np.dtype(dtype)
+        nbytes = max(1, self.n_items * self.dtype.itemsize)
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._finalizer = weakref.finalize(self, _release_segment, self._shm)
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach to."""
+        return self._shm.name
+
+    def array(self) -> np.ndarray:
+        """A live view over the block; copy it before release."""
+        return np.ndarray(self.n_items, dtype=self.dtype, buffer=self._shm.buf)
+
+    def release(self) -> None:
+        """Close and unlink now (idempotent)."""
+        self._finalizer()
+
+    def __enter__(self) -> "SharedOutput":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+def _run_chunk_in_worker(
+    fn: Callable[[tuple[str, int, int]], None],
+    task: tuple[str, int, int],
+    chunk_index: int,
+    attempt: int,
+    faults: FaultPlan | None,
+) -> None:
+    """Worker-process entry: apply any injected fault, then run the chunk.
+
+    Faults fire *only* here, inside the forked child — the parent's
+    degraded in-process path calls ``fn`` directly, which is why even a
+    chunk whose every worker attempt is killed still completes.
+    """
+    spec = faults.decide(chunk_index, attempt) if faults is not None else None
+    if spec is not None:
+        if spec.kind == "delay":
+            time.sleep(spec.delay_s)
+        elif spec.kind == "kill":
+            os._exit(spec.exit_code)
+    fn(task)
+    if spec is not None and spec.kind == "corrupt":
+        shm_name, lo, hi = task
+        shm = shared_memory.SharedMemory(name=shm_name)
+        try:
+            out = np.ndarray(hi, dtype=SCORE_DTYPE, buffer=shm.buf)
+            out[lo:hi] = np.nan
+        finally:
+            shm.close()
+
+
+@dataclass
+class _ChunkState:
+    """Supervision state of one chunk across its attempts."""
+
+    index: int
+    task: tuple[str, int, int]
+    attempt: int = 0
+    not_before: float = 0.0  # monotonic time gating the next launch
+
+
 class SharedArrayPool:
-    """A small fork-based pool mapping chunk tasks over shared arrays.
+    """A supervised fork-based pool mapping chunk tasks over shared arrays.
 
     Falls back to in-process execution when ``fork`` is unavailable or
-    ``n_workers == 1``, so callers never need a platform branch.
+    ``n_workers == 1``, so callers never need a platform branch.  Usable
+    as a context manager (symmetry with :class:`SharedOutput`; the pool
+    itself holds no persistent resources between :meth:`run` calls —
+    worker processes live only for the duration of one chunk attempt).
     """
 
     def __init__(self, n_workers: int | None = None) -> None:
@@ -74,6 +204,12 @@ class SharedArrayPool:
     def uses_processes(self) -> bool:
         return self._ctx is not None and self.n_workers > 1
 
+    def __enter__(self) -> "SharedArrayPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
     def run(
         self,
         fn: Callable[[tuple[str, int, int]], None],
@@ -81,18 +217,50 @@ class SharedArrayPool:
         n_items: int,
         *,
         tracer: Tracer | NullTracer | None = None,
-    ) -> None:
-        """Apply ``fn`` to one (shm_name, lo, hi) task per worker.
+        policy: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
+        validate: Callable[[int, int], bool] | None = None,
+        report: RecoveryReport | None = None,
+    ) -> RecoveryReport:
+        """Apply ``fn`` to one (shm_name, lo, hi) task per worker, supervised.
 
-        With a tracer attached, the whole map gets a ``"pool_run"`` span
-        and each chunk a ``"pool_chunk"`` child.  In process mode the
-        chunk spans are recorded parent-side after the map returns (the
-        workers cannot share the tracer), carrying the worker-measured
-        seconds in the ``worker_s`` attribute; their start/end
-        timestamps are therefore approximate while ``worker_s`` is
-        exact.
+        Parameters
+        ----------
+        fn, shm_name, n_items:
+            The chunk function and the shared output block it writes.
+            ``fn`` must be idempotent per chunk (write only its own
+            [lo, hi) slice) — that is what makes re-execution safe.
+        tracer:
+            With a tracer attached, the whole map gets a ``"pool_run"``
+            span, each completed chunk a ``"pool_chunk"`` child
+            (``worker_s`` carries the parent-measured attempt seconds,
+            ``attempts`` the 1-based attempt count, ``degraded`` marks
+            in-process fallback), and each failed attempt a
+            ``"pool_chunk_failure"`` span with its reason.
+        policy:
+            Retry/backoff/deadline parameters; defaults to
+            ``RetryPolicy()``.
+        faults:
+            Deterministic fault plan applied inside worker processes
+            (chaos testing); ignored on the in-process path.
+        validate:
+            Parent-side output check called as ``validate(lo, hi)`` after
+            each attempt; ``False`` marks the attempt failed (counted as
+            ``invalid_chunks``) and triggers the retry ladder.
+        report:
+            Recovery counters to accumulate into; a fresh
+            :class:`RecoveryReport` is created (and returned) if omitted.
+
+        Raises
+        ------
+        ChunkFailureError
+            Only when a chunk's output is still invalid after in-process
+            fallback — i.e. the failure is deterministic, not worker
+            flakiness.
         """
         tr = as_tracer(tracer)
+        pol = policy if policy is not None else RetryPolicy()
+        rep = report if report is not None else RecoveryReport()
         tasks = [
             (shm_name, lo, hi)
             for lo, hi in chunk_ranges(n_items, self.n_workers)
@@ -110,31 +278,152 @@ class SharedArrayPool:
                     with tr.span("pool_chunk") as csp:
                         fn(task)
                         csp.set(items=task[2] - task[1], lo=task[1], hi=task[2])
-                return
-            assert self._ctx is not None
-            with self._ctx.Pool(processes=self.n_workers) as pool:
-                if tr.enabled:
-                    elapsed = pool.map(_timed_call, [(fn, t) for t in tasks])
-                    for task, secs in zip(tasks, elapsed):
-                        with tr.span("pool_chunk") as csp:
-                            csp.set(
-                                items=task[2] - task[1],
-                                lo=task[1],
-                                hi=task[2],
-                                worker_s=secs,
-                            )
-                else:
-                    pool.map(fn, tasks)
+                    if validate is not None and not validate(task[1], task[2]):
+                        raise ChunkFailureError(
+                            f"chunk [{task[1]}, {task[2]}) produced invalid "
+                            "output in in-process execution"
+                        )
+                return rep
+            self._run_supervised(fn, tasks, tr, pol, faults, validate, rep)
+            sp.set(
+                retries=rep.retries,
+                degraded_chunks=rep.degraded_chunks,
+            )
+        return rep
 
+    def _run_supervised(
+        self,
+        fn: Callable[[tuple[str, int, int]], None],
+        tasks: list[tuple[str, int, int]],
+        tr: Tracer | NullTracer,
+        pol: RetryPolicy,
+        faults: FaultPlan | None,
+        validate: Callable[[int, int], bool] | None,
+        rep: RecoveryReport,
+    ) -> None:
+        assert self._ctx is not None
+        waiting: list[_ChunkState] = [
+            _ChunkState(k, task) for k, task in enumerate(tasks)
+        ]
+        # index -> (process, state, deadline, start time); all monotonic.
+        running: dict[int, tuple] = {}
 
-def _timed_call(
-    args: tuple[Callable[[tuple[str, int, int]], None], tuple[str, int, int]]
-) -> float:
-    """Worker-side wrapper timing one chunk task; returns seconds."""
-    fn, task = args
-    with Timer() as t:
-        fn(task)
-    return t.elapsed
+        def finish(st: _ChunkState, elapsed: float, *, degraded: bool) -> None:
+            with tr.span("pool_chunk") as csp:
+                csp.set(
+                    items=st.task[2] - st.task[1],
+                    lo=st.task[1],
+                    hi=st.task[2],
+                    worker_s=elapsed,
+                    attempts=st.attempt + 1,
+                )
+                if degraded:
+                    csp.set(degraded=True)
+
+        def fail(st: _ChunkState, reason: str, now: float) -> None:
+            with tr.span("pool_chunk_failure", reason=reason) as fsp:
+                fsp.set(lo=st.task[1], hi=st.task[2], attempt=st.attempt)
+            if st.attempt >= pol.max_retries:
+                # Retry budget spent: degrade to in-process execution.
+                rep.degraded_chunks += 1
+                tr.counter("resilience.degraded_chunks").inc()
+                t0 = time.monotonic()
+                fn(st.task)
+                finish(st, time.monotonic() - t0, degraded=True)
+                if validate is not None and not validate(
+                    st.task[1], st.task[2]
+                ):
+                    raise ChunkFailureError(
+                        f"chunk [{st.task[1]}, {st.task[2]}) still invalid "
+                        f"after in-process fallback (last failure: {reason})"
+                    )
+            else:
+                st.attempt += 1
+                rep.retries += 1
+                tr.counter("resilience.retries").inc()
+                st.not_before = now + pol.backoff_s(st.attempt)
+                waiting.append(st)
+
+        try:
+            while waiting or running:
+                now = time.monotonic()
+                # Launch every backoff-expired chunk into a free slot.
+                i = 0
+                while i < len(waiting) and len(running) < self.n_workers:
+                    st = waiting[i]
+                    if st.not_before <= now:
+                        waiting.pop(i)
+                        proc = self._ctx.Process(
+                            target=_run_chunk_in_worker,
+                            args=(fn, st.task, st.index, st.attempt, faults),
+                            daemon=True,
+                        )
+                        proc.start()
+                        deadline = (
+                            now + pol.chunk_timeout_s
+                            if pol.chunk_timeout_s is not None
+                            else math.inf
+                        )
+                        running[st.index] = (proc, st, deadline, now)
+                    else:
+                        i += 1
+                if not running:
+                    # Everyone is waiting out a backoff.
+                    time.sleep(
+                        max(0.0, min(s.not_before for s in waiting) - now)
+                    )
+                    continue
+
+                # Sleep until a worker exits, a deadline passes, or a
+                # backoff expires — whichever comes first.
+                wake = min(d for (_, _, d, _) in running.values())
+                if waiting:
+                    wake = min(wake, min(s.not_before for s in waiting))
+                timeout = (
+                    None if wake == math.inf else max(0.0, wake - now)
+                )
+                _sentinel_wait(
+                    [p.sentinel for (p, _, _, _) in running.values()],
+                    timeout=timeout,
+                )
+
+                now = time.monotonic()
+                for idx, (proc, st, deadline, started) in list(
+                    running.items()
+                ):
+                    if proc.exitcode is not None:
+                        del running[idx]
+                        elapsed = now - started
+                        if proc.exitcode != 0:
+                            proc.close()
+                            rep.worker_deaths += 1
+                            tr.counter("resilience.worker_deaths").inc()
+                            fail(st, "worker_death", now)
+                        elif validate is not None and not validate(
+                            st.task[1], st.task[2]
+                        ):
+                            proc.close()
+                            rep.invalid_chunks += 1
+                            tr.counter("resilience.invalid_chunks").inc()
+                            fail(st, "invalid_output", now)
+                        else:
+                            proc.close()
+                            finish(st, elapsed, degraded=False)
+                    elif now >= deadline:
+                        proc.terminate()
+                        proc.join()
+                        proc.close()
+                        del running[idx]
+                        rep.chunk_timeouts += 1
+                        tr.counter("resilience.chunk_timeouts").inc()
+                        fail(st, "timeout", now)
+        finally:
+            # On any escape (ChunkFailureError, KeyboardInterrupt, ...)
+            # leave no orphan workers behind.
+            for proc, _, _, _ in running.values():
+                proc.terminate()
+                proc.join()
+                proc.close()
 
 
 def parallel_edge_scores(
@@ -142,12 +431,20 @@ def parallel_edge_scores(
     *,
     n_workers: int | None = None,
     tracer: Tracer | NullTracer | None = None,
+    policy: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
+    report: RecoveryReport | None = None,
 ) -> np.ndarray:
-    """Modularity ΔQ scores computed by a process pool over shared memory.
+    """Modularity ΔQ scores computed by a supervised pool over shared memory.
 
     Bit-identical to ``ModularityScorer().score(graph)`` (same arithmetic,
-    chunked); the equivalence is integration-tested.
+    chunked) even under injected worker faults; the equivalence is
+    integration- and chaos-tested.  Chunk outputs are validated for
+    NaN/inf parent-side, so corrupted worker output triggers re-execution
+    rather than propagating.
     """
+    from repro.core.scoring import validate_scores
+
     e = graph.edges
     m = e.n_edges
     w_total = graph.total_weight()
@@ -161,15 +458,72 @@ def parallel_edge_scores(
     _WORK["vol"] = graph.strengths()
     _WORK["w_total"] = w_total
 
-    shm = shared_memory.SharedMemory(
-        create=True, size=m * np.dtype(SCORE_DTYPE).itemsize
-    )
     try:
-        pool = SharedArrayPool(n_workers)
-        pool.run(_score_chunk, shm.name, m, tracer=tracer)
-        out = np.ndarray(m, dtype=SCORE_DTYPE, buffer=shm.buf).copy()
+        with SharedOutput(m, SCORE_DTYPE) as out:
+            view = out.array()
+
+            def chunk_is_finite(lo: int, hi: int) -> bool:
+                return bool(np.isfinite(view[lo:hi]).all())
+
+            with SharedArrayPool(n_workers) as pool:
+                pool.run(
+                    _score_chunk,
+                    out.name,
+                    m,
+                    tracer=tracer,
+                    policy=policy,
+                    faults=faults,
+                    validate=chunk_is_finite,
+                    report=report,
+                )
+            scores = view.copy()
+            del view  # drop the buffer export before the segment is freed
     finally:
-        shm.close()
-        shm.unlink()
         _WORK.clear()
-    return out
+    return validate_scores(scores, scorer="modularity[parallel]")
+
+
+class ParallelModularityScorer:
+    """:class:`~repro.core.scoring.EdgeScorer` backed by the supervised pool.
+
+    Drop this into :func:`repro.core.detect_communities` to run the
+    scoring phase of every level across worker processes with the full
+    recovery ladder.  Recovery counts accumulate on :attr:`report` across
+    levels; the driver folds that report into its result's
+    ``recovery`` field.
+
+    Pass the *same* tracer instance given to ``detect_communities`` so
+    the ``pool_run`` spans nest under the per-level ``score`` spans.
+    """
+
+    name = "modularity"
+
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        *,
+        policy: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
+        tracer: Tracer | NullTracer | None = None,
+    ) -> None:
+        self.n_workers = n_workers
+        self.policy = policy
+        self.faults = faults
+        self.tracer = tracer
+        self.report = RecoveryReport()
+
+    def score(
+        self, graph: CommunityGraph, recorder: TraceRecorder | None = None
+    ) -> np.ndarray:
+        from repro.core.scoring import _record_scoring
+
+        scores = parallel_edge_scores(
+            graph,
+            n_workers=self.n_workers,
+            tracer=self.tracer,
+            policy=self.policy,
+            faults=self.faults,
+            report=self.report,
+        )
+        _record_scoring(recorder, graph, self.name)
+        return scores

@@ -1,0 +1,40 @@
+"""Fault-tolerant execution: retries, checkpoints, and fault injection.
+
+The paper's pipeline is a long-running score → match → contract loop over
+shared arrays; this subpackage is what lets a real deployment of it
+survive the failures that loop meets in production:
+
+* :mod:`repro.resilience.retry` — the :class:`RetryPolicy` escalation
+  ladder the hardened :class:`repro.parallel.SharedArrayPool` follows
+  when a worker dies, stalls, or emits garbage;
+* :mod:`repro.resilience.report` — :class:`RecoveryReport`, the recovery
+  accounting attached to every
+  :class:`~repro.core.agglomeration.AgglomerationResult`;
+* :mod:`repro.resilience.checkpoint` — atomic, schema-versioned,
+  validated level checkpoints and the resume path
+  (:class:`CheckpointManager`);
+* :mod:`repro.resilience.faults` — deterministic, seeded fault injectors
+  (:class:`FaultPlan`) driving the chaos test suite.
+
+See ``docs/RESILIENCE.md`` for the failure-mode catalogue and policies.
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointManager,
+    CheckpointState,
+)
+from repro.resilience.faults import FaultPlan, FaultSpec, truncate_file
+from repro.resilience.report import RecoveryReport
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "RetryPolicy",
+    "RecoveryReport",
+    "FaultPlan",
+    "FaultSpec",
+    "truncate_file",
+    "CheckpointManager",
+    "CheckpointState",
+    "CHECKPOINT_SCHEMA_VERSION",
+]

@@ -1,0 +1,282 @@
+"""Level-granular checkpoint/resume for the agglomeration loop.
+
+After each contraction level the driver persists everything the loop
+needs to continue: the current community graph, the dendrogram's
+contraction maps, per-community member counts, and the per-level stats.
+One level is one self-contained ``.npz`` file, so a checkpoint directory
+is a history of the run and resume picks the newest file that validates.
+
+Durability rules:
+
+* **atomic** — each checkpoint is written to a temporary file in the same
+  directory, fsynced, then ``os.replace``-d into place, so a crash
+  mid-write can never leave a half-written file under the final name;
+* **schema-versioned** — files carry a schema number checked on load;
+* **validated on reload** — the graph re-runs its representation
+  invariants and the dendrogram maps are re-pushed through the same
+  checks used during the live run, so a corrupt or truncated checkpoint
+  is classified :class:`~repro.errors.CheckpointError` instead of
+  producing a silently wrong resume.
+
+``load_latest`` falls back: invalid files are counted and skipped, and
+the newest *valid* level wins.  An empty or fully corrupt directory
+resumes as a fresh run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.graph.edgelist import EdgeList
+from repro.graph.graph import CommunityGraph
+from repro.types import VERTEX_DTYPE
+from repro.util.log import get_logger
+
+__all__ = ["CHECKPOINT_SCHEMA_VERSION", "CheckpointState", "CheckpointManager"]
+
+#: Version of the on-disk checkpoint schema.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+_FILE_RE = re.compile(r"^level_(\d{5})\.ckpt\.npz$")
+
+_log = get_logger("resilience.checkpoint")
+
+
+@dataclass
+class CheckpointState:
+    """Everything needed to continue the agglomeration loop at a level.
+
+    Attributes
+    ----------
+    level:
+        Number of *completed* contraction levels.
+    graph:
+        The community graph entering level ``level``.
+    maps:
+        The dendrogram's old→new contraction maps, one per completed level.
+    member_counts:
+        Input vertices per current community (the ``max_community_size``
+        veto state).
+    level_stats:
+        Per-level statistics as JSON-ready dicts (the driver rebuilds its
+        ``LevelStats`` records from these).
+    scorer_name:
+        Name of the scorer that produced the checkpoint, recorded so a
+        resume under a different scorer can be flagged by callers.
+    """
+
+    level: int
+    graph: CommunityGraph
+    maps: list[np.ndarray]
+    member_counts: np.ndarray
+    level_stats: list[dict] = field(default_factory=list)
+    scorer_name: str = ""
+
+    @property
+    def n_input_vertices(self) -> int:
+        return len(self.maps[0]) if self.maps else self.graph.n_vertices
+
+
+class CheckpointManager:
+    """Reads and writes level checkpoints in one directory.
+
+    Parameters
+    ----------
+    directory:
+        Checkpoint directory; created if missing.
+    keep:
+        Newest checkpoints to retain after each save (older levels are
+        pruned).  ``None`` keeps everything.  At least two are kept by
+        default so a truncated newest file still leaves a fallback.
+    """
+
+    def __init__(
+        self, directory: str | os.PathLike, *, keep: int | None = 3
+    ) -> None:
+        if keep is not None and keep < 1:
+            raise ValueError("keep must be at least 1 (or None)")
+        self.directory = Path(directory)
+        self.keep = keep
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ---------------------------------------------------------------- paths
+    def path_for(self, level: int) -> Path:
+        return self.directory / f"level_{level:05d}.ckpt.npz"
+
+    def levels_on_disk(self) -> list[int]:
+        """Checkpoint levels present (sorted ascending; tmp files ignored)."""
+        out = []
+        for name in os.listdir(self.directory):
+            m = _FILE_RE.match(name)
+            if m:
+                out.append(int(m.group(1)))
+        return sorted(out)
+
+    # ----------------------------------------------------------------- save
+    def save(self, state: CheckpointState) -> Path:
+        """Atomically persist one level checkpoint; returns its path."""
+        if state.level != len(state.maps):
+            raise ValueError(
+                f"state.level={state.level} but {len(state.maps)} maps given"
+            )
+        final = self.path_for(state.level)
+        tmp = final.with_name(final.name + f".tmp{os.getpid()}")
+        e = state.graph.edges
+        arrays: dict[str, np.ndarray] = {
+            "schema": np.int64(CHECKPOINT_SCHEMA_VERSION),
+            "level": np.int64(state.level),
+            "n_input_vertices": np.int64(state.n_input_vertices),
+            "n_vertices": np.int64(e.n_vertices),
+            "ei": e.ei,
+            "ej": e.ej,
+            "w": e.w,
+            "bucket_start": e.bucket_start,
+            "bucket_end": e.bucket_end,
+            "self_weights": state.graph.self_weights,
+            "member_counts": state.member_counts,
+            "n_maps": np.int64(len(state.maps)),
+            "stats_json": np.str_(json.dumps(state.level_stats)),
+            "scorer_name": np.str_(state.scorer_name),
+        }
+        for k, mapping in enumerate(state.maps):
+            arrays[f"map_{k:05d}"] = np.asarray(mapping, dtype=VERTEX_DTYPE)
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(fh, **arrays)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
+        finally:
+            if tmp.exists():  # replace failed or savez raised
+                tmp.unlink()
+        self._prune()
+        return final
+
+    def _prune(self) -> None:
+        if self.keep is None:
+            return
+        levels = self.levels_on_disk()
+        for lvl in levels[: -self.keep]:
+            try:
+                self.path_for(lvl).unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+
+    # ----------------------------------------------------------------- load
+    def load_level(self, level: int) -> CheckpointState:
+        """Load and validate one level; raises :class:`CheckpointError`."""
+        path = self.path_for(level)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                return self._decode(path, data)
+        except CheckpointError:
+            raise
+        except (OSError, zipfile.BadZipFile, KeyError, ValueError) as exc:
+            raise CheckpointError(
+                f"{path}: unreadable or truncated checkpoint: {exc}"
+            ) from exc
+
+    def _decode(self, path: Path, data) -> CheckpointState:
+        schema = int(data["schema"])
+        if schema != CHECKPOINT_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"{path}: schema version {schema} unsupported "
+                f"(expected {CHECKPOINT_SCHEMA_VERSION})"
+            )
+        level = int(data["level"])
+        n_maps = int(data["n_maps"])
+        if n_maps != level:
+            raise CheckpointError(
+                f"{path}: level {level} checkpoint carries {n_maps} maps"
+            )
+        edges = EdgeList(
+            ei=data["ei"],
+            ej=data["ej"],
+            w=data["w"],
+            n_vertices=int(data["n_vertices"]),
+            bucket_start=data["bucket_start"],
+            bucket_end=data["bucket_end"],
+        )
+        graph = CommunityGraph(edges, data["self_weights"])
+        try:
+            graph.validate()
+        except Exception as exc:
+            raise CheckpointError(
+                f"{path}: checkpointed graph fails validation: {exc}"
+            ) from exc
+
+        maps = [data[f"map_{k:05d}"] for k in range(n_maps)]
+        # Re-push through the live-run validation: each map must shrink
+        # its domain and compose down to exactly the checkpointed graph.
+        from repro.core.dendrogram import Dendrogram
+
+        n_input = int(data["n_input_vertices"])
+        dendro = Dendrogram(n_input)
+        try:
+            for mapping in maps:
+                dendro.push(mapping)
+        except ValueError as exc:
+            raise CheckpointError(
+                f"{path}: contraction maps fail validation: {exc}"
+            ) from exc
+        if dendro.communities_at(level) != graph.n_vertices:
+            raise CheckpointError(
+                f"{path}: maps compose to {dendro.communities_at(level)} "
+                f"communities but graph has {graph.n_vertices}"
+            )
+
+        member_counts = np.asarray(data["member_counts"], dtype=VERTEX_DTYPE)
+        if len(member_counts) != graph.n_vertices:
+            raise CheckpointError(
+                f"{path}: member_counts length {len(member_counts)} != "
+                f"{graph.n_vertices} communities"
+            )
+        if int(member_counts.sum()) != n_input:
+            raise CheckpointError(
+                f"{path}: member_counts sum {int(member_counts.sum())} != "
+                f"{n_input} input vertices"
+            )
+
+        try:
+            stats = json.loads(str(data["stats_json"]))
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"{path}: level stats are not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(stats, list) or len(stats) != level:
+            raise CheckpointError(
+                f"{path}: expected {level} level-stat records, "
+                f"got {len(stats) if isinstance(stats, list) else type(stats)}"
+            )
+        return CheckpointState(
+            level=level,
+            graph=graph,
+            maps=maps,
+            member_counts=member_counts,
+            level_stats=stats,
+            scorer_name=str(data["scorer_name"]),
+        )
+
+    def load_latest(self) -> tuple[CheckpointState | None, int]:
+        """The newest valid checkpoint, plus the count of invalid files.
+
+        Invalid (truncated, corrupt, wrong-schema) files are skipped with
+        a warning; ``(None, n_invalid)`` means nothing usable was found
+        and the caller should start fresh.
+        """
+        n_invalid = 0
+        for level in reversed(self.levels_on_disk()):
+            try:
+                return self.load_level(level), n_invalid
+            except CheckpointError as exc:
+                n_invalid += 1
+                _log.warning("skipping invalid checkpoint: %s", exc)
+        return None, n_invalid

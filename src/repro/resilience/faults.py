@@ -1,0 +1,170 @@
+"""Deterministic fault injection for the chaos test suite.
+
+A :class:`FaultPlan` maps ``(chunk_index, attempt)`` pairs to
+:class:`FaultSpec` actions.  The pool's worker wrapper consults the plan
+*inside the forked child*, so an injected fault behaves exactly like the
+production failure it models:
+
+* ``kill`` — the worker calls ``os._exit`` before touching the output
+  (a crashed/OOM-killed process);
+* ``delay`` — the worker sleeps past the per-chunk deadline (a wedged or
+  starved process);
+* ``corrupt`` — the worker computes its chunk, then overwrites the output
+  slice with NaN (silent data corruption).
+
+Plans are static data built ahead of the run, so injection is fully
+deterministic: :meth:`FaultPlan.seeded` derives every decision from
+``(seed, chunk_index, attempt)`` alone, independent of scheduling order.
+Faults fire only in worker processes — the parent's in-process degraded
+path executes the same chunk function directly, faults bypassed, which is
+what makes "kill every worker attempt" a recoverable scenario.
+
+:func:`truncate_file` is the checkpoint-side injector: it chops a file
+mid-byte to model a torn write, which resume must detect and skip.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Literal
+
+import numpy as np
+
+__all__ = ["FaultSpec", "FaultPlan", "truncate_file"]
+
+FaultKind = Literal["kill", "delay", "corrupt"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: what to do to a specific chunk attempt."""
+
+    kind: FaultKind
+    delay_s: float = 0.0
+    exit_code: int = 17
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("kill", "delay", "corrupt"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of faults keyed by (chunk_index, attempt)."""
+
+    faults: dict[tuple[int, int], FaultSpec] = field(default_factory=dict)
+
+    def decide(self, chunk_index: int, attempt: int) -> FaultSpec | None:
+        """The fault to inject for this chunk attempt, if any."""
+        return self.faults.get((chunk_index, attempt))
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.faults)
+
+    def add(
+        self, chunk_index: int, attempt: int, spec: FaultSpec
+    ) -> "FaultPlan":
+        """Schedule one fault; chainable."""
+        self.faults[(chunk_index, attempt)] = spec
+        return self
+
+    # -------------------------------------------------------------- builders
+    @classmethod
+    def kill_first_attempt(
+        cls, chunks: Iterable[int], *, exit_code: int = 17
+    ) -> "FaultPlan":
+        """Kill the first attempt of each listed chunk; retries succeed."""
+        return cls(
+            {
+                (c, 0): FaultSpec("kill", exit_code=exit_code)
+                for c in chunks
+            }
+        )
+
+    @classmethod
+    def kill_every_attempt(
+        cls, chunks: Iterable[int], *, attempts: int, exit_code: int = 17
+    ) -> "FaultPlan":
+        """Kill all ``attempts`` worker attempts — forces degraded mode."""
+        return cls(
+            {
+                (c, a): FaultSpec("kill", exit_code=exit_code)
+                for c in chunks
+                for a in range(attempts)
+            }
+        )
+
+    @classmethod
+    def delay_first_attempt(
+        cls, chunks: Iterable[int], *, delay_s: float
+    ) -> "FaultPlan":
+        """Stall the first attempt of each listed chunk past a deadline."""
+        return cls(
+            {(c, 0): FaultSpec("delay", delay_s=delay_s) for c in chunks}
+        )
+
+    @classmethod
+    def corrupt_first_attempt(cls, chunks: Iterable[int]) -> "FaultPlan":
+        """NaN-corrupt the first attempt's output of each listed chunk."""
+        return cls({(c, 0): FaultSpec("corrupt") for c in chunks})
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        n_chunks: int,
+        *,
+        p_kill: float = 0.0,
+        p_delay: float = 0.0,
+        p_corrupt: float = 0.0,
+        delay_s: float = 0.05,
+        faulty_attempts: int = 1,
+    ) -> "FaultPlan":
+        """Draw one independent fault decision per (chunk, attempt).
+
+        Each decision uses a generator keyed by ``(seed, chunk, attempt)``,
+        so the plan is a pure function of its arguments — rebuilding it
+        with the same seed yields the identical schedule regardless of
+        execution order, which is what makes chaos runs reproducible.
+        """
+        if min(p_kill, p_delay, p_corrupt) < 0 or (
+            p_kill + p_delay + p_corrupt
+        ) > 1.0:
+            raise ValueError(
+                "fault probabilities must be non-negative and sum to <= 1"
+            )
+        faults: dict[tuple[int, int], FaultSpec] = {}
+        for chunk in range(n_chunks):
+            for attempt in range(faulty_attempts):
+                r = float(
+                    np.random.default_rng([seed, chunk, attempt]).random()
+                )
+                if r < p_kill:
+                    faults[(chunk, attempt)] = FaultSpec("kill")
+                elif r < p_kill + p_delay:
+                    faults[(chunk, attempt)] = FaultSpec(
+                        "delay", delay_s=delay_s
+                    )
+                elif r < p_kill + p_delay + p_corrupt:
+                    faults[(chunk, attempt)] = FaultSpec("corrupt")
+        return cls(faults)
+
+
+def truncate_file(path: str | os.PathLike, *, keep_fraction: float = 0.5) -> int:
+    """Truncate a file in place to model a torn/partial write.
+
+    Returns the number of bytes kept.  ``keep_fraction=0`` empties the
+    file entirely.  Used by the chaos suite against checkpoint files; the
+    loader must classify the result as invalid and fall back.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError("keep_fraction must be in [0, 1)")
+    size = os.path.getsize(path)
+    keep = int(size * keep_fraction)
+    with open(path, "r+b") as fh:
+        fh.truncate(keep)
+    return keep

@@ -1,0 +1,96 @@
+"""Recovery accounting: what the fault-tolerant layer had to do.
+
+A :class:`RecoveryReport` is a plain mutable record threaded through the
+execution stack: the pool increments it as chunks die, time out, produce
+invalid output, or fall back to in-process execution, and the driver adds
+checkpoint activity.  The final report rides on
+:class:`repro.core.agglomeration.AgglomerationResult`, so a caller can
+always answer "did this run recover from anything?" without parsing logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["RecoveryReport"]
+
+
+@dataclass
+class RecoveryReport:
+    """Counts of recovery actions taken during one run.
+
+    Attributes
+    ----------
+    retries:
+        Chunk re-executions scheduled after a failed attempt.
+    worker_deaths:
+        Worker processes that exited with a non-zero code (crash/kill).
+    chunk_timeouts:
+        Chunk attempts terminated for exceeding the per-chunk deadline.
+    invalid_chunks:
+        Chunk attempts whose output failed parent-side validation
+        (e.g. NaN/inf scores in the shared output slice).
+    degraded_chunks:
+        Chunks that exhausted their retry budget and ran in-process.
+    checkpoints_written:
+        Level checkpoints persisted by the driver.
+    checkpoints_invalid:
+        Checkpoint files skipped during resume because they were
+        truncated or failed validation.
+    resumed_from_level:
+        Level count restored from a checkpoint, or ``None`` when the run
+        started fresh.
+    """
+
+    retries: int = 0
+    worker_deaths: int = 0
+    chunk_timeouts: int = 0
+    invalid_chunks: int = 0
+    degraded_chunks: int = 0
+    checkpoints_written: int = 0
+    checkpoints_invalid: int = 0
+    resumed_from_level: int | None = None
+
+    def any_recovery(self) -> bool:
+        """True when the run survived at least one fault or resumed."""
+        return (
+            self.retries > 0
+            or self.worker_deaths > 0
+            or self.chunk_timeouts > 0
+            or self.invalid_chunks > 0
+            or self.degraded_chunks > 0
+            or self.checkpoints_invalid > 0
+            or self.resumed_from_level is not None
+        )
+
+    def merge(self, other: "RecoveryReport") -> "RecoveryReport":
+        """Fold another report's counts into this one (in place)."""
+        for f in fields(self):
+            if f.name == "resumed_from_level":
+                if other.resumed_from_level is not None:
+                    self.resumed_from_level = other.resumed_from_level
+            else:
+                setattr(
+                    self, f.name, getattr(self, f.name) + getattr(other, f.name)
+                )
+        return self
+
+    def as_dict(self) -> dict:
+        """JSON-ready dump (attached to trace metadata and CLI output)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def summary(self) -> str:
+        """One-line human summary for CLI stderr."""
+        parts = [
+            f"retries={self.retries}",
+            f"worker_deaths={self.worker_deaths}",
+            f"timeouts={self.chunk_timeouts}",
+            f"invalid_chunks={self.invalid_chunks}",
+            f"degraded={self.degraded_chunks}",
+            f"checkpoints={self.checkpoints_written}",
+        ]
+        if self.checkpoints_invalid:
+            parts.append(f"checkpoints_invalid={self.checkpoints_invalid}")
+        if self.resumed_from_level is not None:
+            parts.append(f"resumed_from_level={self.resumed_from_level}")
+        return ", ".join(parts)

@@ -1,0 +1,92 @@
+"""Retry policy: how hard the pool fights for a failed chunk.
+
+The escalation ladder for one chunk is fixed; the policy only sets its
+parameters:
+
+1. run the chunk in a worker process (attempt 0);
+2. on worker death, per-chunk deadline overrun, or invalid output, retry
+   in a fresh worker after a capped exponential backoff — up to
+   ``max_retries`` times;
+3. after the retry budget is spent, *degrade*: execute the chunk
+   in-process in the parent, where a crashing worker cannot take the
+   result with it.
+
+Because chunks write disjoint slices of the shared output block,
+re-execution is idempotent — a recovered run is bit-identical to a
+fault-free one, which is what the chaos suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Parameters of the chunk-failure escalation ladder.
+
+    Attributes
+    ----------
+    max_retries:
+        Worker re-executions allowed per chunk after the first attempt;
+        ``0`` means any failure degrades straight to in-process execution.
+    backoff_base_s:
+        Delay before the first retry.
+    backoff_factor:
+        Multiplier applied per subsequent retry.
+    backoff_cap_s:
+        Upper bound on any single backoff delay.
+    chunk_timeout_s:
+        Per-attempt wall-clock deadline; a worker still running past it is
+        terminated and the chunk is treated as failed.  ``None`` disables
+        deadline enforcement (the default — a healthy chunk's duration is
+        workload-dependent).
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 1.0
+    chunk_timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be at least 1")
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError("backoff_cap_s must be at least backoff_base_s")
+        if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0:
+            raise ValueError("chunk_timeout_s must be positive or None")
+
+    def backoff_s(self, retry: int) -> float:
+        """Backoff before the ``retry``-th re-execution (1-based)."""
+        if retry < 1:
+            raise ValueError("retry numbers are 1-based")
+        return min(
+            self.backoff_cap_s,
+            self.backoff_base_s * self.backoff_factor ** (retry - 1),
+        )
+
+    def delays(self) -> tuple[float, ...]:
+        """The full backoff schedule, one entry per allowed retry."""
+        return tuple(self.backoff_s(k) for k in range(1, self.max_retries + 1))
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """No retries: any worker failure degrades to in-process at once."""
+        return cls(max_retries=0)
+
+    @classmethod
+    def fast(cls) -> "RetryPolicy":
+        """Tight backoffs for tests and interactive runs."""
+        return cls(
+            max_retries=3,
+            backoff_base_s=0.001,
+            backoff_factor=2.0,
+            backoff_cap_s=0.01,
+        )

@@ -1,6 +1,20 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus a per-test timeout guard.
+
+The timeout guard exists for the fault-injection suite: it exercises a
+worker-process pool under injected crashes and delays, and a supervision
+bug there hangs rather than fails.  ``pytest-timeout`` is not a
+dependency of this repo, so a minimal SIGALRM-based equivalent lives
+here — a ``@pytest.mark.timeout(seconds)`` marker (or the
+``REPRO_TEST_TIMEOUT`` environment variable as a suite-wide default)
+aborts a stuck test with a traceback instead of wedging CI.  SIGALRM is
+main-thread/Unix only, which covers how this suite runs everywhere it
+is supported; elsewhere the guard degrades to a no-op.
+"""
 
 from __future__ import annotations
+
+import os
+import signal
 
 import numpy as np
 import pytest
@@ -14,6 +28,41 @@ from repro.generators import (
     two_triangles,
 )
 from repro.graph import from_edges
+
+_HAS_SIGALRM = hasattr(signal, "SIGALRM")
+
+
+def _test_timeout_s(item: pytest.Item) -> float | None:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    env = os.environ.get("REPRO_TEST_TIMEOUT", "")
+    if env:
+        try:
+            return float(env)
+        except ValueError:
+            return None
+    return None
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item: pytest.Item):
+    seconds = _test_timeout_s(item) if _HAS_SIGALRM else None
+    if not seconds or seconds <= 0:
+        return (yield)
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded its {seconds:g}s timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -77,6 +77,35 @@ class TestDetect:
         )
         assert rc == 0
 
+    def test_resume_requires_checkpoint_dir(self, karate_file, capsys):
+        rc = main(["detect", karate_file, "--resume"])
+        assert rc == 2
+        assert "requires --checkpoint-dir" in capsys.readouterr().err
+
+    def test_checkpoint_and_resume_reproduce_full_run(
+        self, karate_file, tmp_path, capsys
+    ):
+        full = main(["detect", karate_file])
+        full_out = capsys.readouterr().out
+        assert full == 0
+        ck = str(tmp_path / "ck")
+        rc = main(
+            ["detect", karate_file, "--checkpoint-dir", ck, "--max-levels", "1"]
+        )
+        assert rc == 0
+        assert "resilience:" in capsys.readouterr().err
+        rc = main(["detect", karate_file, "--checkpoint-dir", ck, "--resume"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "resumed_from_level=1" in captured.err
+        assert captured.out == full_out
+
+    def test_workers_pool_matches_serial(self, karate_file, capsys):
+        assert main(["detect", karate_file]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["detect", karate_file, "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
     def test_npz_input(self, tmp_path, capsys):
         path = tmp_path / "k.npz"
         save_npz(karate_club(), path)

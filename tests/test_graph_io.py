@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import GraphFormatError
+from repro.errors import GraphFormatError, GraphFormatWarning
 from repro.graph import (
     from_edges,
     load_npz,
@@ -70,6 +70,62 @@ class TestEdgeList:
             read_edgelist(path)
 
 
+class TestEdgeListErrorLocation:
+    def test_error_names_file_line_and_token(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n0 x\n")
+        with pytest.raises(GraphFormatError, match=r"g\.txt:2: .*'x'"):
+            read_edgelist(path)
+
+    def test_negative_id_reports_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n0 1\n-3 2\n")
+        with pytest.raises(
+            GraphFormatError, match=r":3: negative vertex id '-3'"
+        ):
+            read_edgelist(path)
+
+    def test_non_finite_weight_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 nan\n")
+        with pytest.raises(
+            GraphFormatError, match=r":1: non-finite edge weight"
+        ):
+            read_edgelist(path)
+
+
+class TestEdgeListNonStrict:
+    def test_skips_bad_lines_with_counted_warning(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\nbroken line here\n1 2\n0\n2 3\n")
+        with pytest.warns(GraphFormatWarning, match="2 malformed"):
+            g = read_edgelist(path, strict=False)
+        assert g.n_edges == 3
+
+    def test_clean_file_emits_no_warning(self, tmp_path, recwarn):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        g = read_edgelist(path, strict=False)
+        assert g.n_edges == 2
+        assert not any(
+            isinstance(w.message, GraphFormatWarning) for w in recwarn.list
+        )
+
+    def test_skips_non_finite_weights(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 1.0\n1 2 inf\n2 3 2.0\n")
+        with pytest.warns(GraphFormatWarning):
+            g = read_edgelist(path, strict=False)
+        assert g.n_edges == 2
+        assert np.isfinite(g.edges.w).all()
+
+    def test_strict_is_the_default(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("junk\n")
+        with pytest.raises(GraphFormatError):
+            read_edgelist(path)
+
+
 class TestMetis:
     def test_roundtrip(self, tmp_path, weighted_graph):
         path = tmp_path / "g.metis"
@@ -125,6 +181,26 @@ class TestMetis:
         path = tmp_path / "g.metis"
         path.write_text("3 9\n2\n1 3\n2\n")
         with pytest.raises(GraphFormatError, match="declares"):
+            read_metis(path)
+
+    def test_bad_neighbor_token_names_line(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("% comment\n2 1\n2\nbogus\n")
+        with pytest.raises(
+            GraphFormatError, match=r":4: bad neighbor id 'bogus'"
+        ):
+            read_metis(path)
+
+    def test_non_numeric_header_names_line(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("three two\n")
+        with pytest.raises(GraphFormatError, match=r":1: non-numeric"):
+            read_metis(path)
+
+    def test_bad_weight_token_names_line(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 1 1\n2 w\n1 w\n")
+        with pytest.raises(GraphFormatError, match=r":2: bad edge weight"):
             read_metis(path)
 
 

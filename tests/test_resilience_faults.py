@@ -1,0 +1,83 @@
+"""Unit tests for the deterministic fault-injection plan."""
+
+import pytest
+
+from repro.resilience import FaultPlan, FaultSpec, truncate_file
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("explode")
+        with pytest.raises(ValueError):
+            FaultSpec("delay", delay_s=-1.0)
+
+    def test_defaults(self):
+        spec = FaultSpec("kill")
+        assert spec.exit_code == 17
+
+
+class TestFaultPlan:
+    def test_decide_hits_only_scheduled_attempts(self):
+        plan = FaultPlan.kill_first_attempt([0, 2])
+        assert plan.decide(0, 0).kind == "kill"
+        assert plan.decide(2, 0).kind == "kill"
+        assert plan.decide(1, 0) is None
+        assert plan.decide(0, 1) is None  # retry attempt is clean
+
+    def test_kill_every_attempt_covers_all_attempts(self):
+        plan = FaultPlan.kill_every_attempt([1], attempts=3)
+        assert plan.n_faults == 3
+        for attempt in range(3):
+            assert plan.decide(1, attempt).kind == "kill"
+
+    def test_delay_and_corrupt_builders(self):
+        delayed = FaultPlan.delay_first_attempt([0], delay_s=0.5)
+        assert delayed.decide(0, 0).delay_s == 0.5
+        corrupt = FaultPlan.corrupt_first_attempt([3])
+        assert corrupt.decide(3, 0).kind == "corrupt"
+
+    def test_add_is_chainable(self):
+        plan = FaultPlan().add(0, 0, FaultSpec("kill")).add(
+            0, 1, FaultSpec("corrupt")
+        )
+        assert plan.n_faults == 2
+
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded(7, 16, p_kill=0.3, p_corrupt=0.2)
+        b = FaultPlan.seeded(7, 16, p_kill=0.3, p_corrupt=0.2)
+        assert a.faults == b.faults
+
+    def test_seeded_depends_on_seed(self):
+        a = FaultPlan.seeded(1, 64, p_kill=0.5)
+        b = FaultPlan.seeded(2, 64, p_kill=0.5)
+        assert a.faults != b.faults
+
+    def test_seeded_probability_zero_is_empty(self):
+        assert FaultPlan.seeded(0, 32).n_faults == 0
+
+    def test_seeded_probability_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan.seeded(0, 4, p_kill=0.8, p_delay=0.8)
+        with pytest.raises(ValueError):
+            FaultPlan.seeded(0, 4, p_kill=-0.1)
+
+
+class TestTruncateFile:
+    def test_truncates_to_fraction(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(b"x" * 100)
+        kept = truncate_file(path, keep_fraction=0.3)
+        assert kept == 30
+        assert path.stat().st_size == 30
+
+    def test_zero_fraction_empties(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(b"x" * 10)
+        assert truncate_file(path, keep_fraction=0.0) == 0
+
+    def test_validation(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(b"x")
+        with pytest.raises(ValueError):
+            truncate_file(path, keep_fraction=1.0)

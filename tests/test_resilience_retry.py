@@ -1,0 +1,112 @@
+"""Unit tests for the retry policy and recovery accounting."""
+
+import pytest
+
+from repro.resilience import RecoveryReport, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        pol = RetryPolicy()
+        assert pol.max_retries == 3
+        assert pol.chunk_timeout_s is None
+
+    def test_backoff_schedule_is_capped_exponential(self):
+        pol = RetryPolicy(
+            max_retries=5,
+            backoff_base_s=0.1,
+            backoff_factor=2.0,
+            backoff_cap_s=0.5,
+        )
+        assert pol.delays() == (0.1, 0.2, 0.4, 0.5, 0.5)
+
+    def test_backoff_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_s(0)
+
+    def test_none_policy_has_no_retries(self):
+        pol = RetryPolicy.none()
+        assert pol.max_retries == 0
+        assert pol.delays() == ()
+
+    def test_fast_policy_stays_fast(self):
+        assert sum(RetryPolicy.fast().delays()) < 0.1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff_base_s": -0.1},
+            {"backoff_factor": 0.5},
+            {"backoff_base_s": 1.0, "backoff_cap_s": 0.5},
+            {"chunk_timeout_s": 0.0},
+            {"chunk_timeout_s": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            RetryPolicy().max_retries = 7
+
+
+class TestRecoveryReport:
+    def test_fresh_report_reports_no_recovery(self):
+        assert not RecoveryReport().any_recovery()
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "retries",
+            "worker_deaths",
+            "chunk_timeouts",
+            "invalid_chunks",
+            "degraded_chunks",
+            "checkpoints_invalid",
+        ],
+    )
+    def test_any_fault_count_flags_recovery(self, field):
+        rep = RecoveryReport(**{field: 1})
+        assert rep.any_recovery()
+
+    def test_checkpoint_writes_alone_are_not_recovery(self):
+        assert not RecoveryReport(checkpoints_written=4).any_recovery()
+
+    def test_resume_flags_recovery(self):
+        assert RecoveryReport(resumed_from_level=2).any_recovery()
+
+    def test_merge_sums_counts(self):
+        a = RecoveryReport(retries=1, worker_deaths=2)
+        b = RecoveryReport(retries=3, chunk_timeouts=1, resumed_from_level=4)
+        a.merge(b)
+        assert a.retries == 4
+        assert a.worker_deaths == 2
+        assert a.chunk_timeouts == 1
+        assert a.resumed_from_level == 4
+
+    def test_merge_keeps_own_resume_level_when_other_is_fresh(self):
+        a = RecoveryReport(resumed_from_level=3)
+        a.merge(RecoveryReport())
+        assert a.resumed_from_level == 3
+
+    def test_as_dict_round_trips_every_field(self):
+        rep = RecoveryReport(retries=2, checkpoints_written=1)
+        d = rep.as_dict()
+        assert d["retries"] == 2
+        assert d["checkpoints_written"] == 1
+        assert RecoveryReport(**d) == rep
+
+    def test_summary_mentions_faults(self):
+        s = RecoveryReport(
+            retries=2, checkpoints_invalid=1, resumed_from_level=3
+        ).summary()
+        assert "retries=2" in s
+        assert "checkpoints_invalid=1" in s
+        assert "resumed_from_level=3" in s
+
+    def test_summary_hides_quiet_optional_fields(self):
+        s = RecoveryReport().summary()
+        assert "checkpoints_invalid" not in s
+        assert "resumed_from_level" not in s

@@ -1,0 +1,83 @@
+"""Guards around scorer output and matching pass budgets."""
+
+import numpy as np
+import pytest
+
+from repro.core import detect_communities
+from repro.core.matching import match_full_sweep, match_locally_dominant
+from repro.core.scoring import ModularityScorer, WeightScorer, validate_scores
+from repro.errors import (
+    ConvergenceError,
+    InvariantViolation,
+    ScoreValidationError,
+)
+
+
+class TestValidateScores:
+    def test_clean_scores_pass_through_unchanged(self):
+        scores = np.array([0.5, -0.25, 0.0])
+        assert validate_scores(scores) is scores
+
+    def test_nan_raises(self):
+        with pytest.raises(ScoreValidationError, match="non-finite"):
+            validate_scores(np.array([0.1, np.nan, 0.2]))
+
+    def test_inf_raises(self):
+        with pytest.raises(ScoreValidationError):
+            validate_scores(np.array([np.inf]))
+
+    def test_error_names_scorer_count_and_first_index(self):
+        with pytest.raises(
+            ScoreValidationError, match=r"broken: 2 non-finite.*edge 1"
+        ):
+            validate_scores(
+                np.array([0.0, np.nan, np.inf]), scorer="broken"
+            )
+
+    def test_is_an_invariant_violation(self):
+        assert issubclass(ScoreValidationError, InvariantViolation)
+
+    def test_builtin_scorers_are_clean(self, karate):
+        # The wrapped return paths of the stock scorers must not trip.
+        for scorer in (ModularityScorer(), WeightScorer()):
+            assert np.isfinite(scorer.score(karate)).all()
+
+
+class TestDriverScoreGuard:
+    def test_nan_producing_scorer_fails_fast_in_detection(self, karate):
+        class BrokenScorer:
+            name = "broken"
+
+            def score(self, graph, recorder=None):
+                scores = np.zeros(graph.n_edges)
+                scores[0] = np.nan
+                return scores
+
+        with pytest.raises(ScoreValidationError, match="broken"):
+            detect_communities(karate, BrokenScorer())
+
+
+class TestPassBudget:
+    @pytest.mark.parametrize(
+        "matcher", [match_locally_dominant, match_full_sweep]
+    )
+    def test_zero_budget_exhausts_immediately(self, karate, matcher):
+        scores = WeightScorer().score(karate)
+        with pytest.raises(ConvergenceError, match="pass budget"):
+            matcher(karate, scores, max_passes=0)
+
+    @pytest.mark.parametrize(
+        "matcher", [match_locally_dominant, match_full_sweep]
+    )
+    def test_default_budget_suffices(self, karate, matcher):
+        scores = WeightScorer().score(karate)
+        result = matcher(karate, scores)
+        assert result.passes <= 2 * karate.n_vertices + 4
+
+    @pytest.mark.parametrize(
+        "matcher", [match_locally_dominant, match_full_sweep]
+    )
+    def test_negative_budget_rejected(self, karate, matcher):
+        scores = WeightScorer().score(karate)
+        with pytest.raises(ValueError):
+            matcher(karate, scores, max_passes=-1)
