@@ -18,9 +18,37 @@ from repro.bench.reporting import (
     format_scaling,
 )
 from repro.bench.ascii_plot import ascii_xy_plot, plot_scaling_results
+from repro.bench.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerComparison,
+    PhaseDelta,
+    Repetition,
+    RunRecord,
+    compare_ledgers,
+    host_info,
+    ledger_path,
+    read_ledger,
+    render_comparison,
+    render_ledger,
+    repetition_from_run,
+    write_ledger,
+)
 from repro.bench import experiments
 
 __all__ = [
+    "LEDGER_SCHEMA_VERSION",
+    "Repetition",
+    "RunRecord",
+    "repetition_from_run",
+    "host_info",
+    "ledger_path",
+    "write_ledger",
+    "read_ledger",
+    "PhaseDelta",
+    "LedgerComparison",
+    "compare_ledgers",
+    "render_ledger",
+    "render_comparison",
     "DatasetSpec",
     "DATASETS",
     "load_dataset",

@@ -19,6 +19,7 @@ from repro.core.scoring import EdgeScorer
 from repro.core.termination import TerminationCriteria
 from repro.graph.graph import CommunityGraph
 from repro.obs.sinks import phase_totals
+from repro.obs.timeline import NullTimeline, QualityTimeline
 from repro.obs.trace import NullTracer, Tracer, as_tracer
 from repro.platform.kernels import TraceRecorder
 from repro.platform.machine import MachineModel
@@ -49,6 +50,7 @@ class TracedRun:
     result: AgglomerationResult
     recorder: TraceRecorder
     tracer: Tracer | NullTracer | None = None
+    timeline: QualityTimeline | NullTimeline | None = None
 
     def phase_breakdown(self) -> dict[str, float] | None:
         """Measured seconds per pipeline phase for this run's spans.
@@ -96,6 +98,7 @@ def run_with_trace(
     matcher: Literal["worklist", "sweep"] = "worklist",
     contractor: Literal["bucket", "chains"] = "bucket",
     tracer: Tracer | NullTracer | None = None,
+    timeline: QualityTimeline | NullTimeline | None = None,
     checkpoint_dir: str | None = None,
     resume: bool = False,
 ) -> TracedRun:
@@ -103,7 +106,9 @@ def run_with_trace(
 
     The wall-clock spans are rooted under a ``"run"`` span stamped with
     the graph name so several runs can share one tracer (the bench
-    exhibits sweep multiple graphs).  ``checkpoint_dir``/``resume`` pass
+    exhibits sweep multiple graphs).  A ``timeline`` records the
+    per-level quality trajectory for the benchmark ledger (see
+    :mod:`repro.bench.ledger`).  ``checkpoint_dir``/``resume`` pass
     straight through to :func:`~repro.core.agglomeration.detect_communities`
     so long benchmark runs survive interruption (see docs/RESILIENCE.md).
     """
@@ -118,6 +123,7 @@ def run_with_trace(
             contractor=contractor,
             recorder=recorder,
             tracer=tr,
+            timeline=timeline,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
         )
@@ -135,6 +141,7 @@ def run_with_trace(
         result=result,
         recorder=recorder,
         tracer=tracer,
+        timeline=timeline,
     )
 
 

@@ -1,0 +1,116 @@
+"""The smoke benchmark: one small ledger-emitting end-to-end run.
+
+``python -m repro.bench.smoke`` detects communities on a deterministic
+planted-partition graph N times and writes the schema-versioned
+``BENCH_<name>.json`` ledger (phase times, per-level quality timeline,
+peak RSS) via :mod:`repro.bench.ledger`, printing the ASCII view.  CI's
+smoke-bench job runs this and ``repro compare``-s the result against
+the committed ``benchmarks/baselines/smoke.json``.
+
+The graph is small on purpose — the job exists to prove the telemetry
+pipeline end to end (timeline → ledger → compare) on every push, not to
+produce publishable numbers; the paper-scale exhibits live under
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.bench.harness import run_with_trace
+from repro.bench.ledger import (
+    RunRecord,
+    host_info,
+    render_ledger,
+    repetition_from_run,
+    write_ledger,
+)
+from repro.generators import planted_partition_graph
+from repro.obs import QualityTimeline, Tracer
+
+__all__ = ["run_smoke", "main"]
+
+
+def run_smoke(
+    *,
+    name: str = "smoke",
+    n_vertices: int = 4000,
+    reps: int = 3,
+    seed: int = 1,
+    matcher: str = "worklist",
+    contractor: str = "bucket",
+    directory: str = ".",
+):
+    """Run the smoke benchmark and write its ledger; returns (record, path)."""
+    if reps < 1:
+        raise ValueError("reps must be at least 1")
+    graph = planted_partition_graph(n_vertices, seed=seed)
+    record = RunRecord(
+        name=name,
+        graph={
+            "name": f"planted-{n_vertices}",
+            "n_vertices": graph.n_vertices,
+            "n_edges": graph.n_edges,
+        },
+        config={
+            "scorer": "modularity",
+            "matcher": matcher,
+            "contractor": contractor,
+            "seed": seed,
+            "n_workers": 1,
+        },
+        host=host_info(),
+        created_unix=time.time(),
+    )
+    for _ in range(reps):
+        tracer = Tracer()
+        timeline = QualityTimeline()
+        t0 = time.perf_counter()
+        run = run_with_trace(
+            graph,
+            graph_name=record.graph["name"],
+            matcher=matcher,  # type: ignore[arg-type]
+            contractor=contractor,  # type: ignore[arg-type]
+            tracer=tracer,
+            timeline=timeline,
+        )
+        total_s = time.perf_counter() - t0
+        record.repetitions.append(repetition_from_run(run, total_s))
+    path = write_ledger(record, directory=directory)
+    return record, path
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.smoke",
+        description="run the ledger-emitting smoke benchmark",
+    )
+    parser.add_argument("--name", default="smoke", help="ledger name (BENCH_<name>.json)")
+    parser.add_argument("--vertices", type=int, default=4000)
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--matcher", default="worklist", choices=["worklist", "sweep"])
+    parser.add_argument("--contractor", default="bucket", choices=["bucket", "chains"])
+    parser.add_argument(
+        "--out-dir", default=".", help="directory for the ledger file"
+    )
+    args = parser.parse_args(argv)
+    record, path = run_smoke(
+        name=args.name,
+        n_vertices=args.vertices,
+        reps=args.reps,
+        seed=args.seed,
+        matcher=args.matcher,
+        contractor=args.contractor,
+        directory=args.out_dir,
+    )
+    print(render_ledger(record))
+    print(f"\nledger written to {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

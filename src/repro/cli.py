@@ -50,8 +50,13 @@ _SCORERS = {"modularity": ModularityScorer, "conductance": ConductanceScorer}
 
 
 def _make_tracer(args: argparse.Namespace) -> Tracer | None:
-    """A real tracer when ``--trace-out``/``--profile`` ask for one."""
-    if getattr(args, "trace_out", None) or getattr(args, "profile", False):
+    """A real tracer when ``--trace-out``/``--profile``/``--metrics-out``
+    ask for one."""
+    if (
+        getattr(args, "trace_out", None)
+        or getattr(args, "profile", False)
+        or getattr(args, "metrics_out", None)
+    ):
         return Tracer()
     return None
 
@@ -59,7 +64,7 @@ def _make_tracer(args: argparse.Namespace) -> Tracer | None:
 def _emit_trace(
     tracer: Tracer | None, args: argparse.Namespace, meta: dict
 ) -> None:
-    """Write the JSONL trace and/or print the profile table (stderr)."""
+    """Write the JSONL trace / Prometheus metrics / profile table."""
     if tracer is None:
         return
     if args.trace_out:
@@ -67,6 +72,10 @@ def _emit_trace(
         print(
             f"trace: {n} spans written to {args.trace_out}", file=sys.stderr
         )
+    if getattr(args, "metrics_out", None):
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(tracer.metrics.render_prometheus())
+        print(f"metrics: written to {args.metrics_out}", file=sys.stderr)
     if args.profile:
         print(render_profile(list(tracer.spans)), file=sys.stderr)
 
@@ -344,6 +353,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------- compare
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.bench.ledger import (
+        compare_ledgers,
+        read_ledger,
+        render_comparison,
+    )
+    from repro.errors import ReproError
+
+    try:
+        base = read_ledger(args.base)
+        new = read_ledger(args.new)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cmp = compare_ledgers(
+        base,
+        new,
+        tolerance=args.tolerance,
+        noise_floor_s=args.noise_floor,
+        quality_tolerance=args.quality_tolerance,
+    )
+    print(render_comparison(cmp))
+    return 1 if cmp.regressed else 0
+
+
 # ----------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -412,6 +447,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-level phase-time table to stderr",
     )
+    p.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write run metrics in Prometheus text exposition format",
+    )
     p.set_defaults(func=_cmd_detect)
 
     p = sub.add_parser("generate", help="generate a synthetic graph file")
@@ -456,7 +497,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-run phase-time tables to stderr",
     )
+    p.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write run metrics in Prometheus text exposition format",
+    )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "compare",
+        help="compare two benchmark ledgers; exit 1 on regression",
+        description="Compare two BENCH_*.json ledgers (see "
+        "docs/OBSERVABILITY.md) phase by phase using min-of-N repetition "
+        "times.  Exits 1 iff a phase, the end-to-end time, or final "
+        "modularity regresses beyond tolerance; 2 on unreadable input.",
+    )
+    p.add_argument("base", help="baseline ledger (BENCH_*.json)")
+    p.add_argument("new", help="candidate ledger to judge against the baseline")
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="relative slowdown allowed per phase (default 0.05 = 5%%)",
+    )
+    p.add_argument(
+        "--noise-floor",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="absolute slowdown below which a delta is noise (default 5 ms)",
+    )
+    p.add_argument(
+        "--quality-tolerance",
+        type=float,
+        default=0.02,
+        help="absolute final-modularity drop allowed (default 0.02)",
+    )
+    p.set_defaults(func=_cmd_compare)
     return parser
 
 

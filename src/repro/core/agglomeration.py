@@ -34,6 +34,7 @@ from repro.errors import CheckpointError
 from repro.graph.graph import CommunityGraph
 from repro.metrics.modularity import community_graph_modularity
 from repro.metrics.partition import Partition
+from repro.obs.timeline import NullTimeline, QualityTimeline, as_timeline
 from repro.obs.trace import NullTracer, Tracer, as_tracer
 from repro.platform.kernels import TraceRecorder
 from repro.resilience.checkpoint import CheckpointManager, CheckpointState
@@ -131,6 +132,7 @@ def detect_communities(
     contractor: Literal["bucket", "chains"] = "bucket",
     recorder: TraceRecorder | None = None,
     tracer: Tracer | NullTracer | None = None,
+    timeline: QualityTimeline | NullTimeline | None = None,
     progress: Callable[[LevelStats], None] | None = None,
     checkpoint_dir: str | os.PathLike | None = None,
     resume: bool = False,
@@ -158,6 +160,13 @@ def detect_communities(
         ``"match"`` / ``"contract"`` children, plus a
         ``"checkpoint_write"`` span per persisted level).  ``None`` uses
         the zero-overhead :data:`~repro.obs.NULL_TRACER`.
+    timeline:
+        Optional :class:`repro.obs.QualityTimeline` recording one
+        algorithm-quality sample per completed level (modularity,
+        coverage, community count, merge fraction, matching passes,
+        community-size histogram).  ``None`` uses the no-op
+        :data:`~repro.obs.NULL_TIMELINE`.  On ``resume`` the timeline
+        covers only the levels executed in this process.
     progress:
         Optional callback invoked with each level's :class:`LevelStats`
         as it completes (long runs, CLI verbosity).
@@ -197,6 +206,7 @@ def detect_communities(
         raise ValueError(f"unknown contractor {contractor!r}") from None
 
     tr = as_tracer(tracer)
+    tl = as_timeline(timeline)
     recovery = RecoveryReport()
     manager = (
         CheckpointManager(checkpoint_dir) if checkpoint_dir is not None else None
@@ -325,6 +335,16 @@ def detect_communities(
                 coverage_after=cov,
             )
         tr.histogram("agglomeration.matching_passes").observe(matching.passes)
+        tl.record_level(
+            level=stats.level,
+            n_vertices_entering=entering_v,
+            n_pairs=matching.n_pairs,
+            matching_passes=matching.passes,
+            n_communities=current.n_vertices,
+            modularity=stats.modularity_after,
+            coverage=cov,
+            member_counts=member_counts,
+        )
         levels.append(stats)
         if manager is not None and len(levels) % checkpoint_every == 0:
             with tr.span("checkpoint_write", level=level_idx) as sp:

@@ -1,10 +1,14 @@
 """Run observability: wall-clock spans, metrics, and trace export.
 
-Three layers:
+Four layers:
 
 * :mod:`repro.obs.trace` — :class:`Tracer` / :class:`Span` nested
   wall-clock spans, with a zero-cost :class:`NullTracer` default;
-* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms;
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms,
+  mergeable across registries and exportable in Prometheus text format;
+* :mod:`repro.obs.timeline` — :class:`QualityTimeline`, the per-level
+  algorithm-quality trajectory (modularity, coverage, merge fraction)
+  that the benchmark ledger embeds;
 * :mod:`repro.obs.sinks` — schema-versioned JSONL export
   (:func:`write_trace` / :func:`read_trace`) and the per-level console
   profile table (:func:`render_profile`).
@@ -29,6 +33,13 @@ from repro.obs.sinks import (
     render_profile,
     write_trace,
 )
+from repro.obs.timeline import (
+    NULL_TIMELINE,
+    LevelQuality,
+    NullTimeline,
+    QualityTimeline,
+    as_timeline,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -43,6 +54,11 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "as_tracer",
+    "LevelQuality",
+    "QualityTimeline",
+    "NullTimeline",
+    "NULL_TIMELINE",
+    "as_timeline",
     "Counter",
     "Gauge",
     "Histogram",

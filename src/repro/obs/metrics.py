@@ -14,6 +14,8 @@ no-op instances so the untraced path neither allocates nor branches.
 from __future__ import annotations
 
 import bisect
+import math
+import re
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -46,6 +48,10 @@ class Counter:
             raise ValueError("counters only increase; use a Gauge")
         self.value += n
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter's count into this one (sums)."""
+        self.value += other.value
+
 
 class Gauge:
     """Last-written value, with the min/max seen over the run.
@@ -66,12 +72,28 @@ class Gauge:
 
     def set(self, value: float) -> None:
         value = float(value)
+        if math.isnan(value):
+            # A NaN would poison min/max/last and every downstream delta
+            # (ledger comparisons order on these values).
+            raise ValueError(f"gauge {self.name!r}: cannot set NaN")
         self.value = value
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
         self.n_sets += 1
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another gauge in: extremes union, other's last value wins
+        (when it was ever set)."""
+        if other.n_sets == 0:
+            return
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self.value = other.value
+        self.n_sets += other.n_sets
 
 
 class Histogram:
@@ -102,6 +124,8 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         value = float(value)
+        if math.isnan(value):
+            raise ValueError(f"histogram {self.name!r}: cannot observe NaN")
         self.counts[bisect.bisect_left(self.edges, value)] += 1
         self.total += 1
         self.sum += value
@@ -113,6 +137,8 @@ class Histogram:
         arr = np.asarray(values, dtype=np.float64)
         if arr.size == 0:
             return
+        if np.isnan(arr).any():
+            raise ValueError(f"histogram {self.name!r}: cannot observe NaN")
         idx = np.searchsorted(np.asarray(self.edges), arr, side="left")
         binned = np.bincount(idx, minlength=len(self.counts))
         for k, c in enumerate(binned.tolist()):
@@ -122,6 +148,22 @@ class Histogram:
 
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in (bucket-wise count addition).
+
+        The two histograms must have identical edges — merging across
+        different bucketings would silently misattribute samples.
+        """
+        if other.edges != self.edges:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge edges "
+                f"{list(other.edges)} into {list(self.edges)}"
+            )
+        for k, c in enumerate(other.counts):
+            self.counts[k] += c
+        self.total += other.total
+        self.sum += other.sum
 
 
 class MetricsRegistry:
@@ -156,6 +198,96 @@ class MetricsRegistry:
                 name, edges if edges is not None else DEFAULT_BUCKETS
             )
             return h
+
+    def merge(self, other: "MetricsRegistry | NullMetricsRegistry") -> None:
+        """Fold another registry's metrics into this one by name.
+
+        Metrics absent here are created; histograms merge bucket-wise
+        and raise on mismatched edges.  This is how worker-process
+        registries are aggregated into the parent's (see
+        :mod:`repro.parallel.pool`).
+        """
+        for name, c in other.counters.items():
+            self.counter(name).merge(c)
+        for name, g in other.gauges.items():
+            self.gauge(name).merge(g)
+        for name, h in other.histograms.items():
+            self.histogram(name, h.edges).merge(h)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output.
+
+        The inverse used to ship metrics across process boundaries:
+        workers send snapshots (plain dicts pickle cheaply), the parent
+        rebuilds and :meth:`merge`-s them.
+        """
+        reg = cls()
+        for name, value in snapshot.get("counters", {}).items():
+            reg.counter(name).inc(value)
+        for name, g in snapshot.get("gauges", {}).items():
+            gauge = reg.gauge(name)
+            gauge.value = float(g["value"])
+            gauge.min = float(g["min"]) if g["min"] is not None else float("inf")
+            gauge.max = (
+                float(g["max"]) if g["max"] is not None else float("-inf")
+            )
+            gauge.n_sets = int(g["n_sets"])
+        for name, h in snapshot.get("histograms", {}).items():
+            hist = reg.histogram(name, h["edges"])
+            hist.counts = [int(c) for c in h["counts"]]
+            hist.total = int(h["total"])
+            hist.sum = float(h["sum"])
+        return reg
+
+    def render_prometheus(self, *, namespace: str = "repro") -> str:
+        """Render every metric in the Prometheus text exposition format.
+
+        Counters become ``<ns>_<name>_total``; gauges emit their last
+        value plus ``_min`` / ``_max`` companions; histograms emit the
+        standard cumulative ``_bucket{le=...}`` series with ``+Inf``,
+        ``_sum`` and ``_count``.  Metric names are sanitized to the
+        Prometheus charset (``.`` and other separators become ``_``).
+        """
+        lines: list[str] = []
+
+        def metric_name(name: str, suffix: str = "") -> str:
+            base = re.sub(r"[^a-zA-Z0-9_:]", "_", f"{namespace}_{name}")
+            return base + suffix
+
+        def fmt(value: float) -> str:
+            if value == float("inf"):
+                return "+Inf"
+            if value == float("-inf"):
+                return "-Inf"
+            return repr(float(value))
+
+        for name, c in sorted(self.counters.items()):
+            mname = metric_name(name, "_total")
+            lines.append(f"# TYPE {mname} counter")
+            lines.append(f"{mname} {c.value}")
+        for name, g in sorted(self.gauges.items()):
+            mname = metric_name(name)
+            lines.append(f"# TYPE {mname} gauge")
+            lines.append(f"{mname} {fmt(g.value)}")
+            if g.n_sets:
+                for suffix, v in (("_min", g.min), ("_max", g.max)):
+                    sname = metric_name(name, suffix)
+                    lines.append(f"# TYPE {sname} gauge")
+                    lines.append(f"{sname} {fmt(v)}")
+        for name, h in sorted(self.histograms.items()):
+            mname = metric_name(name)
+            lines.append(f"# TYPE {mname} histogram")
+            cumulative = 0
+            for edge, count in zip(h.edges, h.counts):
+                cumulative += count
+                lines.append(
+                    f'{mname}_bucket{{le="{fmt(edge)}"}} {cumulative}'
+                )
+            lines.append(f'{mname}_bucket{{le="+Inf"}} {h.total}')
+            lines.append(f"{mname}_sum {fmt(h.sum)}")
+            lines.append(f"{mname}_count {h.total}")
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def snapshot(self) -> dict:
         """JSON-ready dump of every metric's current state."""
@@ -230,6 +362,12 @@ class NullMetricsRegistry:
 
     def histogram(self, name: str, edges=None) -> _NullHistogram:
         return _NULL_HISTOGRAM
+
+    def merge(self, other) -> None:
+        return None
+
+    def render_prometheus(self, *, namespace: str = "repro") -> str:
+        return ""
 
     def snapshot(self) -> dict:
         return {"counters": {}, "gauges": {}, "histograms": {}}

@@ -60,40 +60,61 @@ def _span_event(span: Span) -> dict:
 def write_trace(
     tracer: Tracer | NullTracer, path: str | os.PathLike, *, meta: dict | None = None
 ) -> int:
-    """Write a tracer's spans and metrics to a JSONL file.
+    """Write a tracer's spans and metrics to a JSONL file, atomically.
 
     Returns the number of span events written.  Writing a
     :class:`NullTracer` produces a valid (empty) trace.
+
+    The trace is written to a temporary file in the destination
+    directory, fsynced, then ``os.replace``-d into place (the same
+    durability rule as :mod:`repro.resilience.checkpoint`): a crash
+    mid-export can never leave a truncated file under the final name —
+    a file that would otherwise still parse cleanly up to the missing
+    trailer.
     """
     snapshot = tracer.metrics.snapshot()
     n_spans = 0
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(
-            json.dumps(
-                {
-                    "event": "header",
-                    "schema": _SCHEMA_NAME,
-                    "version": SCHEMA_VERSION,
-                    "meta": meta or {},
-                }
-            )
-            + "\n"
-        )
-        for span in tracer.spans:
-            fh.write(json.dumps(_span_event(span)) + "\n")
-            n_spans += 1
-        for name, value in snapshot["counters"].items():
+    final = os.fspath(path)
+    tmp = f"{final}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
             fh.write(
-                json.dumps({"event": "counter", "name": name, "value": value})
+                json.dumps(
+                    {
+                        "event": "header",
+                        "schema": _SCHEMA_NAME,
+                        "version": SCHEMA_VERSION,
+                        "meta": meta or {},
+                    }
+                )
                 + "\n"
             )
-        for name, g in snapshot["gauges"].items():
-            fh.write(json.dumps({"event": "gauge", "name": name, **g}) + "\n")
-        for name, h in snapshot["histograms"].items():
-            fh.write(
-                json.dumps({"event": "histogram", "name": name, **h}) + "\n"
-            )
-        fh.write(json.dumps({"event": "end", "n_spans": n_spans}) + "\n")
+            for span in tracer.spans:
+                fh.write(json.dumps(_span_event(span)) + "\n")
+                n_spans += 1
+            for name, value in snapshot["counters"].items():
+                fh.write(
+                    json.dumps(
+                        {"event": "counter", "name": name, "value": value}
+                    )
+                    + "\n"
+                )
+            for name, g in snapshot["gauges"].items():
+                fh.write(
+                    json.dumps({"event": "gauge", "name": name, **g}) + "\n"
+                )
+            for name, h in snapshot["histograms"].items():
+                fh.write(
+                    json.dumps({"event": "histogram", "name": name, **h})
+                    + "\n"
+                )
+            fh.write(json.dumps({"event": "end", "n_spans": n_spans}) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
     return n_spans
 
 
@@ -113,8 +134,16 @@ class TraceData:
         return [s for s in self.spans if s.name == name]
 
 
-def read_trace(path: str | os.PathLike) -> TraceData:
-    """Load a JSONL trace written by :func:`write_trace`."""
+def read_trace(
+    path: str | os.PathLike, *, require_complete: bool = False
+) -> TraceData:
+    """Load a JSONL trace written by :func:`write_trace`.
+
+    With ``require_complete=True`` a file missing its ``end`` trailer —
+    the signature of a truncated export — is rejected with
+    :class:`~repro.errors.ReproError` instead of returned with
+    ``complete=False``.
+    """
     data = TraceData()
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -179,6 +208,10 @@ def read_trace(path: str | os.PathLike) -> TraceData:
                 raise ReproError(f"{path}: unknown event kind {kind!r}")
         except KeyError as exc:
             raise ReproError(f"{path}: malformed {kind} event: {exc}") from exc
+    if require_complete and not data.complete:
+        raise ReproError(
+            f"{path}: trace has no end trailer (truncated export?)"
+        )
     return data
 
 

@@ -49,6 +49,10 @@ import numpy as np
 
 from repro.errors import ChunkFailureError
 from repro.graph.graph import CommunityGraph
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
 from repro.obs.trace import NullTracer, Tracer, as_tracer
 from repro.parallel.chunks import chunk_ranges
 from repro.platform.kernels import TraceRecorder
@@ -62,10 +66,32 @@ __all__ = [
     "SharedArrayPool",
     "parallel_edge_scores",
     "ParallelModularityScorer",
+    "worker_metrics",
 ]
 
 # Worker-side state installed by the fork (inherited globals).
 _WORK: dict[str, object] = {}
+
+#: The registry chunk functions record into.  In the parent (inline or
+#: degraded execution) :meth:`SharedArrayPool.run` points this at the
+#: tracer's registry; in a forked worker :func:`_run_chunk_in_worker`
+#: replaces it with a fresh registry whose snapshot is shipped back over
+#: a queue and merged parent-side — either way nothing is dropped.
+_WORKER_METRICS: MetricsRegistry | NullMetricsRegistry = NullMetricsRegistry()
+
+#: Power-of-two edges sized for per-chunk item counts (up to 16M edges).
+_CHUNK_ITEM_EDGES: tuple[float, ...] = tuple(float(2**k) for k in range(25))
+
+
+def worker_metrics() -> MetricsRegistry | NullMetricsRegistry:
+    """The metrics registry a pool chunk function should record into.
+
+    Valid both in forked workers (a fresh per-attempt registry whose
+    contents are aggregated into the parent tracer when the attempt
+    completes) and in the parent's inline/degraded execution paths (the
+    tracer's own registry).  Outside a pool run this is a shared no-op.
+    """
+    return _WORKER_METRICS
 
 
 def _score_chunk(args: tuple[str, int, int]) -> None:
@@ -84,6 +110,9 @@ def _score_chunk(args: tuple[str, int, int]) -> None:
         )
     finally:
         shm.close()
+    m = worker_metrics()
+    m.counter("pool.edges_scored").inc(int(hi - lo))
+    m.histogram("pool.chunk_items", _CHUNK_ITEM_EDGES).observe(hi - lo)
 
 
 def _release_segment(shm: shared_memory.SharedMemory) -> None:
@@ -145,19 +174,30 @@ def _run_chunk_in_worker(
     chunk_index: int,
     attempt: int,
     faults: FaultPlan | None,
+    metrics_queue=None,
 ) -> None:
     """Worker-process entry: apply any injected fault, then run the chunk.
 
     Faults fire *only* here, inside the forked child — the parent's
     degraded in-process path calls ``fn`` directly, which is why even a
     chunk whose every worker attempt is killed still completes.
+
+    When ``metrics_queue`` is given, the chunk runs against a fresh
+    :class:`~repro.obs.MetricsRegistry` (the fork's copy of the parent
+    registry is invisible to the parent, so recording there would drop
+    everything) and its snapshot is shipped back for parent-side
+    merging.  A killed worker never reaches the ``put``, so partial
+    attempts contribute nothing.
     """
+    global _WORKER_METRICS
     spec = faults.decide(chunk_index, attempt) if faults is not None else None
     if spec is not None:
         if spec.kind == "delay":
             time.sleep(spec.delay_s)
         elif spec.kind == "kill":
             os._exit(spec.exit_code)
+    if metrics_queue is not None:
+        _WORKER_METRICS = MetricsRegistry()
     fn(task)
     if spec is not None and spec.kind == "corrupt":
         shm_name, lo, hi = task
@@ -167,6 +207,8 @@ def _run_chunk_in_worker(
             out[lo:hi] = np.nan
         finally:
             shm.close()
+    if metrics_queue is not None:
+        metrics_queue.put(_WORKER_METRICS.snapshot())
 
 
 @dataclass
@@ -258,6 +300,7 @@ class SharedArrayPool:
             fallback — i.e. the failure is deterministic, not worker
             flakiness.
         """
+        global _WORKER_METRICS
         tr = as_tracer(tracer)
         pol = policy if policy is not None else RetryPolicy()
         rep = report if report is not None else RecoveryReport()
@@ -266,29 +309,44 @@ class SharedArrayPool:
             for lo, hi in chunk_ranges(n_items, self.n_workers)
             if hi > lo
         ]
-        with tr.span("pool_run") as sp:
-            sp.set(
-                items=n_items,
-                n_workers=self.n_workers,
-                n_chunks=len(tasks),
-                mode="processes" if self.uses_processes else "inline",
-            )
-            if not self.uses_processes:
-                for task in tasks:
-                    with tr.span("pool_chunk") as csp:
-                        fn(task)
-                        csp.set(items=task[2] - task[1], lo=task[1], hi=task[2])
-                    if validate is not None and not validate(task[1], task[2]):
-                        raise ChunkFailureError(
-                            f"chunk [{task[1]}, {task[2]}) produced invalid "
-                            "output in in-process execution"
-                        )
-                return rep
-            self._run_supervised(fn, tasks, tr, pol, faults, validate, rep)
-            sp.set(
-                retries=rep.retries,
-                degraded_chunks=rep.degraded_chunks,
-            )
+        # Chunk functions executed in *this* process (inline mode, or the
+        # degraded fallback) record straight into the tracer's registry;
+        # forked workers get a fresh registry swapped in by
+        # _run_chunk_in_worker and merged back via the metrics queue.
+        prev_metrics = _WORKER_METRICS
+        _WORKER_METRICS = tr.metrics
+        try:
+            with tr.span("pool_run") as sp:
+                sp.set(
+                    items=n_items,
+                    n_workers=self.n_workers,
+                    n_chunks=len(tasks),
+                    mode="processes" if self.uses_processes else "inline",
+                )
+                if not self.uses_processes:
+                    for task in tasks:
+                        with tr.span("pool_chunk") as csp:
+                            fn(task)
+                            csp.set(
+                                items=task[2] - task[1],
+                                lo=task[1],
+                                hi=task[2],
+                            )
+                        if validate is not None and not validate(
+                            task[1], task[2]
+                        ):
+                            raise ChunkFailureError(
+                                f"chunk [{task[1]}, {task[2]}) produced "
+                                "invalid output in in-process execution"
+                            )
+                    return rep
+                self._run_supervised(fn, tasks, tr, pol, faults, validate, rep)
+                sp.set(
+                    retries=rep.retries,
+                    degraded_chunks=rep.degraded_chunks,
+                )
+        finally:
+            _WORKER_METRICS = prev_metrics
         return rep
 
     def _run_supervised(
@@ -307,6 +365,17 @@ class SharedArrayPool:
         ]
         # index -> (process, state, deadline, start time); all monotonic.
         running: dict[int, tuple] = {}
+        # Worker-side metric snapshots come home over this queue; only
+        # built when someone is listening (tracer attached).
+        metrics_queue = self._ctx.SimpleQueue() if tr.enabled else None
+
+        def drain_metrics() -> None:
+            if metrics_queue is None:
+                return
+            while not metrics_queue.empty():
+                tr.metrics.merge(
+                    MetricsRegistry.from_snapshot(metrics_queue.get())
+                )
 
         def finish(st: _ChunkState, elapsed: float, *, degraded: bool) -> None:
             with tr.span("pool_chunk") as csp:
@@ -355,7 +424,14 @@ class SharedArrayPool:
                         waiting.pop(i)
                         proc = self._ctx.Process(
                             target=_run_chunk_in_worker,
-                            args=(fn, st.task, st.index, st.attempt, faults),
+                            args=(
+                                fn,
+                                st.task,
+                                st.index,
+                                st.attempt,
+                                faults,
+                                metrics_queue,
+                            ),
                             daemon=True,
                         )
                         proc.start()
@@ -424,6 +500,11 @@ class SharedArrayPool:
                 proc.terminate()
                 proc.join()
                 proc.close()
+            # Fold whatever the workers managed to record into the parent
+            # registry (retried attempts count the work they really did).
+            drain_metrics()
+            if metrics_queue is not None:
+                metrics_queue.close()
 
 
 def parallel_edge_scores(

@@ -302,3 +302,66 @@ class TestVerbose:
         # (log handler writes to stderr via logging; presence of the
         # normal summary suffices — the flag must not break anything)
         assert "communities" in capsys.readouterr().err
+
+
+class TestMetricsOut:
+    def test_detect_writes_prometheus_text(self, karate_file, tmp_path, capsys):
+        out = tmp_path / "metrics.prom"
+        rc = main(["detect", karate_file, "--metrics-out", str(out)])
+        assert rc == 0
+        assert "metrics:" in capsys.readouterr().err
+        text = out.read_text()
+        assert "# TYPE " in text
+        assert "repro_match_worklist_edges" in text
+        assert "repro_contract_bucket_occupancy_bucket" in text
+
+    def test_bench_accepts_metrics_out(self, tmp_path, capsys):
+        out = tmp_path / "metrics.prom"
+        rc = main(
+            ["bench", "figure1", "--scale", "0.02",
+             "--metrics-out", str(out)]
+        )
+        assert rc == 0
+        assert "# TYPE " in out.read_text()
+
+
+class TestCompare:
+    @pytest.fixture()
+    def ledgers(self, tmp_path):
+        from repro.bench.ledger import write_ledger
+        from tests.test_bench_ledger import make_record
+
+        base = write_ledger(make_record(name="base"), directory=tmp_path)
+        same = write_ledger(make_record(name="same"), directory=tmp_path)
+        slow = write_ledger(
+            make_record(name="slow", match=2.0, totals=(2.5, 2.9)),
+            directory=tmp_path,
+        )
+        return base, same, slow
+
+    def test_no_regression_exits_zero(self, ledgers, capsys):
+        base, same, _ = ledgers
+        rc = main(["compare", str(base), str(same)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no regression" in out
+        assert "phase.match" in out
+
+    def test_regression_exits_one(self, ledgers, capsys):
+        base, _, slow = ledgers
+        rc = main(["compare", str(base), str(slow)])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_tolerance_flag_suppresses_regression(self, ledgers):
+        base, _, slow = ledgers
+        rc = main(
+            ["compare", str(base), str(slow),
+             "--tolerance", "100", "--quality-tolerance", "1"]
+        )
+        assert rc == 0
+
+    def test_unreadable_ledger_exits_two(self, tmp_path, capsys, ledgers):
+        rc = main(["compare", str(ledgers[0]), str(tmp_path / "missing.json")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err

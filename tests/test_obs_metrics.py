@@ -156,3 +156,180 @@ class TestNullRegistry:
         reg = NullMetricsRegistry()
         assert reg.counter("a") is reg.counter("b")
         assert reg.histogram("a") is reg.histogram("b")
+
+
+class TestNaNRejection:
+    def test_gauge_rejects_nan(self):
+        g = Gauge("g")
+        g.set(1.0)
+        with pytest.raises(ValueError, match="NaN"):
+            g.set(float("nan"))
+        # state untouched by the rejected set
+        assert g.value == 1.0
+        assert g.n_sets == 1
+
+    def test_histogram_observe_rejects_nan(self):
+        h = Histogram("h", edges=[1, 2])
+        with pytest.raises(ValueError, match="NaN"):
+            h.observe(float("nan"))
+        assert h.total == 0
+        assert h.sum == 0.0
+
+    def test_histogram_observe_many_rejects_nan(self):
+        h = Histogram("h", edges=[1, 2])
+        with pytest.raises(ValueError, match="NaN"):
+            h.observe_many(np.array([1.0, np.nan, 2.0]))
+        assert h.total == 0
+
+    def test_infinities_still_allowed_on_gauge(self):
+        g = Gauge("g")
+        g.set(float("inf"))
+        assert g.max == float("inf")
+
+
+class TestMerge:
+    def test_counter_merge(self):
+        a, b = Counter("c"), Counter("c")
+        a.inc(3)
+        b.inc(4)
+        a.merge(b)
+        assert a.value == 7
+
+    def test_gauge_merge_extremes_and_last(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(5)
+        b.set(1)
+        b.set(10)
+        a.merge(b)
+        assert a.min == 1
+        assert a.max == 10
+        assert a.value == 10  # other's last value wins
+        assert a.n_sets == 3
+
+    def test_gauge_merge_unset_other_is_noop(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(5)
+        a.merge(b)
+        assert a.value == 5
+        assert a.n_sets == 1
+
+    def test_histogram_merge(self):
+        a = Histogram("h", edges=[1, 2, 4])
+        b = Histogram("h", edges=[1, 2, 4])
+        a.observe(1)
+        b.observe(3)
+        b.observe(100)
+        a.merge(b)
+        assert a.counts == [1, 0, 1, 1]
+        assert a.total == 3
+        assert a.sum == 104.0
+
+    def test_histogram_merge_rejects_mismatched_edges(self):
+        a = Histogram("h", edges=[1, 2])
+        b = Histogram("h", edges=[1, 2, 4])
+        with pytest.raises(ValueError, match="cannot merge"):
+            a.merge(b)
+
+    def test_registry_merge_creates_and_folds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("shared").inc(1)
+        b.counter("shared").inc(2)
+        b.counter("only_b").inc(5)
+        b.gauge("g").set(3)
+        b.histogram("h", edges=[1, 2]).observe(1)
+        a.merge(b)
+        assert a.counters["shared"].value == 3
+        assert a.counters["only_b"].value == 5
+        assert a.gauges["g"].value == 3
+        assert a.histograms["h"].total == 1
+
+    def test_registry_merge_mismatched_histogram_edges_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", edges=[1, 2]).observe(1)
+        b.histogram("h", edges=[1, 2, 4]).observe(1)
+        with pytest.raises(ValueError, match="cannot merge"):
+            a.merge(b)
+
+    def test_null_registry_merge_is_noop(self):
+        reg = NullMetricsRegistry()
+        other = MetricsRegistry()
+        other.counter("c").inc(1)
+        reg.merge(other)
+        assert reg.snapshot()["counters"] == {}
+
+
+class TestFromSnapshot:
+    def test_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(7)
+        reg.gauge("g").set(2)
+        reg.gauge("g").set(9)
+        reg.histogram("h", edges=[1, 2]).observe_many([0.5, 1.5, 9])
+        rebuilt = MetricsRegistry.from_snapshot(reg.snapshot())
+        assert rebuilt.snapshot() == reg.snapshot()
+
+    def test_unset_gauge_round_trip(self):
+        reg = MetricsRegistry()
+        reg.gauge("g")  # created but never set
+        rebuilt = MetricsRegistry.from_snapshot(reg.snapshot())
+        assert rebuilt.gauges["g"].n_sets == 0
+        assert rebuilt.snapshot() == reg.snapshot()
+        # merging the rebuilt unset gauge must stay a no-op
+        reg2 = MetricsRegistry()
+        reg2.gauge("g").set(4)
+        reg2.merge(rebuilt)
+        assert reg2.gauges["g"].value == 4
+
+
+class TestPrometheus:
+    def test_counter_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("match.passes").inc(3)
+        text = reg.render_prometheus()
+        assert "# TYPE repro_match_passes_total counter" in text
+        assert "repro_match_passes_total 3" in text
+
+    def test_gauge_exposition_with_extremes(self):
+        reg = MetricsRegistry()
+        reg.gauge("worklist").set(5)
+        reg.gauge("worklist").set(2)
+        text = reg.render_prometheus()
+        assert "repro_worklist 2.0" in text
+        assert "repro_worklist_min 2.0" in text
+        assert "repro_worklist_max 5.0" in text
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("sizes", edges=[1, 2, 4])
+        h.observe_many([0.5, 1.5, 3, 100])
+        text = reg.render_prometheus()
+        assert '# TYPE repro_sizes histogram' in text
+        assert 'repro_sizes_bucket{le="1.0"} 1' in text
+        assert 'repro_sizes_bucket{le="2.0"} 2' in text
+        assert 'repro_sizes_bucket{le="4.0"} 3' in text
+        assert 'repro_sizes_bucket{le="+Inf"} 4' in text
+        assert "repro_sizes_count 4" in text
+        assert "repro_sizes_sum 105.0" in text
+
+    def test_name_sanitization_and_namespace(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b-c/d").inc()
+        text = reg.render_prometheus(namespace="ns")
+        assert "ns_a_b_c_d_total 1" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+        assert NullMetricsRegistry().render_prometheus() == ""
+
+    def test_parseable_line_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1)
+        reg.histogram("h", edges=[1]).observe(0.5)
+        for line in reg.render_prometheus().strip().splitlines():
+            if line.startswith("#"):
+                assert line.startswith("# TYPE ")
+            else:
+                name, value = line.rsplit(" ", 1)
+                assert name
+                float(value)  # every sample value parses as a number

@@ -204,3 +204,50 @@ class TestRenderProfile:
         out = render_profile(list(tr.spans))
         assert "phase profile — g1" in out
         assert "phase profile — g2" in out
+
+
+class TestAtomicWrite:
+    def test_no_tmp_residue(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(make_tracer(), path)
+        assert [p.name for p in tmp_path.iterdir()] == ["t.jsonl"]
+
+    def test_failed_export_leaves_previous_trace_intact(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(make_tracer(n_levels=1), path)
+        bad = Tracer()
+        with bad.span("run", blob=object()):  # not JSON-serializable
+            pass
+        with pytest.raises(TypeError):
+            write_trace(bad, path)
+        # the old file survived the failed overwrite, still complete
+        data = read_trace(path, require_complete=True)
+        assert data.complete
+        assert [p.name for p in tmp_path.iterdir()] == ["t.jsonl"]
+
+
+class TestEmptyAndTruncated:
+    def test_null_tracer_round_trips_empty(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        n = write_trace(NullTracer(), path)
+        assert n == 0
+        data = read_trace(path, require_complete=True)
+        assert data.spans == []
+        assert data.counters == {}
+        # zero-span summaries degrade gracefully
+        totals = phase_totals(data.spans)
+        assert totals["total"] == 0.0
+        assert totals["contract_share"] == 0.0
+        assert "no spans" in render_profile(data.spans)
+
+    def test_require_complete_rejects_trailerless_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(make_tracer(), path)
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[-1])["event"] == "end"
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        # the default is lenient: truncated traces still load...
+        assert not read_trace(path).complete
+        # ...but an explicit completeness demand rejects them.
+        with pytest.raises(ReproError, match="no end trailer"):
+            read_trace(path, require_complete=True)

@@ -121,3 +121,35 @@ class TestPool:
     def test_pool_fallback_serial(self):
         pool = SharedArrayPool(1)
         assert not pool.uses_processes
+
+
+class TestPoolMetrics:
+    """Worker-side metrics must aggregate into the parent registry."""
+
+    def test_inline_worker_metrics_merge(self, karate):
+        from repro.obs import Tracer
+
+        tr = Tracer()
+        parallel_edge_scores(karate, n_workers=1, tracer=tr)
+        snap = tr.metrics.snapshot()
+        assert snap["counters"]["pool.edges_scored"] == karate.n_edges
+        assert snap["histograms"]["pool.chunk_items"]["total"] >= 1
+
+    def test_process_worker_metrics_merge(self, karate):
+        from repro.obs import Tracer
+
+        tr = Tracer()
+        parallel_edge_scores(karate, n_workers=2, tracer=tr)
+        snap = tr.metrics.snapshot()
+        # every edge scored exactly once, across all forked workers
+        assert snap["counters"]["pool.edges_scored"] == karate.n_edges
+        hist = snap["histograms"]["pool.chunk_items"]
+        assert hist["total"] >= 2  # at least one chunk per worker
+        assert hist["sum"] == karate.n_edges
+
+    def test_untraced_run_records_nothing(self, karate):
+        from repro.parallel.pool import worker_metrics
+
+        parallel_edge_scores(karate, n_workers=2)
+        # outside a traced run the module-level registry is the null one
+        assert worker_metrics().snapshot()["counters"] == {}
