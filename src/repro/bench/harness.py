@@ -21,6 +21,7 @@ from repro.graph.graph import CommunityGraph
 from repro.obs.sinks import phase_totals
 from repro.obs.timeline import NullTimeline, QualityTimeline
 from repro.obs.trace import NullTracer, Tracer, as_tracer
+from repro.parallel.backends import ExecutionBackend, as_backend
 from repro.platform.kernels import TraceRecorder
 from repro.platform.machine import MachineModel
 from repro.platform.sim import simulate_sweep, simulate_time
@@ -101,6 +102,7 @@ def run_with_trace(
     timeline: QualityTimeline | NullTimeline | None = None,
     checkpoint_dir: str | None = None,
     resume: bool = False,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> TracedRun:
     """Run detection with a fresh recorder (and optional tracer) attached.
 
@@ -111,9 +113,12 @@ def run_with_trace(
     :mod:`repro.bench.ledger`).  ``checkpoint_dir``/``resume`` pass
     straight through to :func:`~repro.core.agglomeration.detect_communities`
     so long benchmark runs survive interruption (see docs/RESILIENCE.md).
+    ``backend`` selects the execution backend by name or instance (see
+    docs/ARCHITECTURE.md); the run span records which backend ran.
     """
     recorder = TraceRecorder()
     tr = as_tracer(tracer)
+    backend_obj = as_backend(backend)
     with tr.span("run", graph=graph_name) as sp:
         result = detect_communities(
             graph,
@@ -126,11 +131,13 @@ def run_with_trace(
             timeline=timeline,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
+            backend=backend_obj,
         )
         sp.set(
             items=graph.n_edges,
             matcher=matcher,
             contractor=contractor,
+            backend=backend_obj.name,
             n_levels=result.n_levels,
             terminated_by=result.terminated_by,
         )

@@ -30,6 +30,7 @@ from repro.bench.ledger import (
 )
 from repro.generators import planted_partition_graph
 from repro.obs import QualityTimeline, Tracer
+from repro.parallel.backends import backend_names, create_backend
 
 __all__ = ["run_smoke", "main"]
 
@@ -42,12 +43,20 @@ def run_smoke(
     seed: int = 1,
     matcher: str = "worklist",
     contractor: str = "bucket",
+    backend: str | None = None,
+    n_workers: int = 1,
     directory: str = ".",
 ):
     """Run the smoke benchmark and write its ledger; returns (record, path)."""
     if reps < 1:
         raise ValueError("reps must be at least 1")
     graph = planted_partition_graph(n_vertices, seed=seed)
+    backend_obj = None
+    if backend is not None or n_workers > 1:
+        backend_obj = create_backend(
+            backend or "process-pool",
+            n_workers=n_workers if n_workers > 1 else None,
+        )
     record = RunRecord(
         name=name,
         graph={
@@ -60,7 +69,8 @@ def run_smoke(
             "matcher": matcher,
             "contractor": contractor,
             "seed": seed,
-            "n_workers": 1,
+            "backend": backend_obj.name if backend_obj is not None else "serial",
+            "n_workers": backend_obj.n_workers if backend_obj is not None else 1,
         },
         host=host_info(),
         created_unix=time.time(),
@@ -76,6 +86,7 @@ def run_smoke(
             contractor=contractor,  # type: ignore[arg-type]
             tracer=tracer,
             timeline=timeline,
+            backend=backend_obj,
         )
         total_s = time.perf_counter() - t0
         record.repetitions.append(repetition_from_run(run, total_s))
@@ -95,6 +106,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--matcher", default="worklist", choices=["worklist", "sweep"])
     parser.add_argument("--contractor", default="bucket", choices=["bucket", "chains"])
     parser.add_argument(
+        "--backend",
+        default=None,
+        choices=backend_names(),
+        help="execution backend for the scoring phase "
+        "(default: serial, or process-pool when --workers > 1)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the backend (implies process-pool)",
+    )
+    parser.add_argument(
         "--out-dir", default=".", help="directory for the ledger file"
     )
     args = parser.parse_args(argv)
@@ -105,6 +129,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         seed=args.seed,
         matcher=args.matcher,
         contractor=args.contractor,
+        backend=args.backend,
+        n_workers=args.workers,
         directory=args.out_dir,
     )
     print(render_ledger(record))

@@ -26,10 +26,10 @@ from repro.baselines import (
     louvain_communities,
 )
 from repro.core import (
-    ConductanceScorer,
-    ModularityScorer,
     TerminationCriteria,
+    create_kernel,
     detect_communities,
+    kernel_names,
     refine_partition,
 )
 from repro.graph import (
@@ -43,10 +43,9 @@ from repro.graph import (
 from repro.graph.graph import CommunityGraph
 from repro.metrics import Partition, average_conductance, coverage, modularity
 from repro.obs import Tracer, as_tracer, render_profile, write_trace
+from repro.parallel.backends import backend_names, create_backend
 
 __all__ = ["main"]
-
-_SCORERS = {"modularity": ModularityScorer, "conductance": ConductanceScorer}
 
 
 def _make_tracer(args: argparse.Namespace) -> Tracer | None:
@@ -126,18 +125,21 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
 
     if args.algorithm == "parallel":
-        scorer = _SCORERS[args.scorer]()
-        if args.workers > 1:
-            if args.scorer == "modularity":
-                from repro.parallel import ParallelModularityScorer
-
-                scorer = ParallelModularityScorer(
-                    args.workers, tracer=tracer
-                )
-            else:
+        scorer = create_kernel("scorer", args.scorer)
+        # --backend names an execution backend explicitly; bare
+        # --workers N keeps its historical meaning of a process pool.
+        backend = None
+        if args.backend is not None or args.workers > 1:
+            backend = create_backend(
+                args.backend or "process-pool",
+                n_workers=args.workers if args.workers > 1 else None,
+            )
+            if backend.n_workers > 1 and not hasattr(
+                scorer, "score_with_backend"
+            ):
                 print(
-                    f"note: --workers applies to the modularity scorer "
-                    f"only; scoring {args.scorer} in-process",
+                    f"note: the {args.scorer} scorer does not support "
+                    f"backend execution; scoring in-process",
                     file=sys.stderr,
                 )
         tr = as_tracer(tracer)
@@ -151,11 +153,13 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                 tracer=tracer,
                 checkpoint_dir=args.checkpoint_dir,
                 resume=args.resume,
+                backend=backend,
             )
             rsp.set(
                 items=graph.n_edges,
                 n_levels=result.n_levels,
                 terminated_by=result.terminated_by,
+                backend=backend.name if backend is not None else "serial",
             )
         partition = result.partition
         print(
@@ -205,6 +209,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             "scorer": args.scorer,
             "matcher": args.matcher,
             "contractor": args.contractor,
+            "backend": args.backend or "serial",
+            "workers": args.workers,
             "n_vertices": graph.n_vertices,
             "n_edges": graph.n_edges,
         },
@@ -404,9 +410,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="parallel",
         choices=["parallel", "cnm", "louvain", "labelprop"],
     )
-    p.add_argument("--scorer", default="modularity", choices=sorted(_SCORERS))
-    p.add_argument("--matcher", default="worklist", choices=["worklist", "sweep"])
-    p.add_argument("--contractor", default="bucket", choices=["bucket", "chains"])
+    p.add_argument(
+        "--scorer", default="modularity", choices=kernel_names("scorer")
+    )
+    p.add_argument(
+        "--matcher", default="worklist", choices=kernel_names("matcher")
+    )
+    p.add_argument(
+        "--contractor", default="bucket", choices=kernel_names("contractor")
+    )
     p.add_argument(
         "--coverage",
         type=float,
@@ -424,6 +436,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="score each level on a supervised worker-process pool "
         "(modularity scorer only; see docs/RESILIENCE.md)",
+    )
+    p.add_argument(
+        "--backend",
+        default=None,
+        choices=backend_names(),
+        help="execution backend phases run chunked work on "
+        "(default: serial, or process-pool when --workers > 1; "
+        "see docs/ARCHITECTURE.md)",
     )
     p.add_argument(
         "--checkpoint-dir",

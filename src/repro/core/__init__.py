@@ -23,10 +23,36 @@ from repro.core.agglomeration import (
     LevelStats,
     detect_communities,
 )
+from repro.core.engine import (
+    AgglomerationEngine,
+    ContractKernel,
+    MatchKernel,
+    PhaseKernel,
+    RunContext,
+    ScoreKernel,
+)
+from repro.core.registry import (
+    KERNEL_KINDS,
+    create_kernel,
+    kernel_names,
+    register_kernel,
+    unregister_kernel,
+)
 from repro.core.dendrogram import Dendrogram
 from repro.core.refinement import refine_partition
 
 __all__ = [
+    "AgglomerationEngine",
+    "RunContext",
+    "PhaseKernel",
+    "ScoreKernel",
+    "MatchKernel",
+    "ContractKernel",
+    "KERNEL_KINDS",
+    "register_kernel",
+    "unregister_kernel",
+    "kernel_names",
+    "create_kernel",
     "EdgeScorer",
     "ModularityScorer",
     "ConductanceScorer",

@@ -1,10 +1,20 @@
-"""The parallel agglomerative driver (§III).
+"""The parallel agglomerative driver (§III) — compatibility surface.
 
 Repeats score → match → contract on the community graph until a local
 maximum or an external termination criterion, maintaining the dendrogram
 of merges and per-level statistics.  Every vertex starts as its own
 community; each level contracts an approximately-maximum-weight maximal
 matching of positively-scored community pairs.
+
+The loop itself lives in :mod:`repro.core.engine` — a
+:class:`~repro.core.engine.RunContext` carries the cross-cutting
+services (tracer, timeline, recovery, checkpoints, backend), phase
+kernels resolve by name through :mod:`repro.core.registry`, and
+:class:`~repro.core.engine.AgglomerationEngine` drives them.  This
+module keeps the historical one-call entry point:
+:func:`detect_communities` builds a context, resolves the kernels, and
+delegates; results are bit-identical to the pre-engine driver (enforced
+by ``tests/test_engine_parity.py``).
 
 The kernels are selectable so the benchmark ablations can run the paper's
 legacy variants: ``matcher`` in ``{"worklist", "sweep"}`` (§IV-B new/old)
@@ -16,120 +26,35 @@ distinguishes the platforms.
 from __future__ import annotations
 
 import os
-from dataclasses import asdict, dataclass, field
-from typing import Callable, Literal
+from typing import Callable
 
-import numpy as np
-
-from repro.core.contraction import contract, contract_hash_chains
-from repro.core.dendrogram import Dendrogram
-from repro.core.matching import (
-    MatchingResult,
-    match_full_sweep,
-    match_locally_dominant,
+from repro.core.engine import (
+    AgglomerationEngine,
+    AgglomerationResult,
+    LevelStats,
+    RunContext,
 )
-from repro.core.scoring import EdgeScorer, ModularityScorer, validate_scores
+from repro.core.scoring import EdgeScorer
 from repro.core.termination import TerminationCriteria
-from repro.errors import CheckpointError
 from repro.graph.graph import CommunityGraph
-from repro.metrics.modularity import community_graph_modularity
-from repro.metrics.partition import Partition
-from repro.obs.timeline import NullTimeline, QualityTimeline, as_timeline
-from repro.obs.trace import NullTracer, Tracer, as_tracer
+from repro.obs.timeline import NullTimeline, QualityTimeline
+from repro.obs.trace import NullTracer, Tracer
+from repro.parallel.backends import ExecutionBackend
 from repro.platform.kernels import TraceRecorder
-from repro.resilience.checkpoint import CheckpointManager, CheckpointState
-from repro.resilience.report import RecoveryReport
-from repro.types import NO_VERTEX, VERTEX_DTYPE
 from repro.util.log import get_logger
 
 __all__ = ["LevelStats", "AgglomerationResult", "detect_communities"]
 
 _log = get_logger("core.agglomeration")
 
-_MATCHERS: dict[str, Callable[..., MatchingResult]] = {
-    "worklist": match_locally_dominant,
-    "sweep": match_full_sweep,
-}
-_CONTRACTORS = {
-    "bucket": contract,
-    "chains": contract_hash_chains,
-}
-
-
-@dataclass(frozen=True)
-class LevelStats:
-    """Statistics of one contraction level.
-
-    ``n_vertices``/``n_edges`` describe the community graph *entering* the
-    level; coverage and modularity are measured *after* its contraction.
-    """
-
-    level: int
-    n_vertices: int
-    n_edges: int
-    n_positive_scores: int
-    n_pairs: int
-    matching_passes: int
-    coverage_after: float
-    modularity_after: float
-
-
-@dataclass
-class AgglomerationResult:
-    """Full outcome of a community-detection run."""
-
-    partition: Partition
-    dendrogram: Dendrogram
-    levels: list[LevelStats] = field(default_factory=list)
-    terminated_by: str = ""
-    final_graph: CommunityGraph | None = None
-    scorer_name: str = ""
-    recovery: RecoveryReport = field(default_factory=RecoveryReport)
-
-    @property
-    def n_communities(self) -> int:
-        return self.partition.n_communities
-
-    @property
-    def n_levels(self) -> int:
-        return len(self.levels)
-
-    def total_edge_work(self) -> int:
-        """Σ per-level community-graph edges — the paper's O(|E|·K) bound."""
-        return sum(s.n_edges for s in self.levels)
-
-
-def _limit_matching(
-    matching: MatchingResult,
-    scores: np.ndarray,
-    max_pairs: int,
-) -> MatchingResult:
-    """Keep only the ``max_pairs`` highest-scored matched pairs.
-
-    Used when a full contraction would drop below ``min_communities``.
-    """
-    if matching.n_pairs <= max_pairs:
-        return matching
-    me = matching.matched_edges
-    order = np.argsort(scores[me], kind="stable")[::-1][:max_pairs]
-    kept = np.sort(me[order])
-    partner = np.full_like(matching.partner, NO_VERTEX)
-    # Rebuild the partner array from the surviving edges only.
-    return MatchingResult(
-        partner=partner,  # filled below by caller-visible mutation
-        matched_edges=kept,
-        passes=matching.passes,
-        failed_claims=matching.failed_claims,
-    )
-
 
 def detect_communities(
     graph: CommunityGraph,
-    scorer: EdgeScorer | None = None,
+    scorer: EdgeScorer | str | None = None,
     *,
     termination: TerminationCriteria | None = None,
-    matcher: Literal["worklist", "sweep"] = "worklist",
-    contractor: Literal["bucket", "chains"] = "bucket",
+    matcher: str = "worklist",
+    contractor: str = "bucket",
     recorder: TraceRecorder | None = None,
     tracer: Tracer | NullTracer | None = None,
     timeline: QualityTimeline | NullTimeline | None = None,
@@ -137,29 +62,41 @@ def detect_communities(
     checkpoint_dir: str | os.PathLike | None = None,
     resume: bool = False,
     checkpoint_every: int = 1,
+    backend: ExecutionBackend | str | None = None,
 ) -> AgglomerationResult:
     """Detect communities by parallel agglomeration.
+
+    Thin compatibility wrapper over
+    :class:`~repro.core.engine.AgglomerationEngine`: builds the
+    :class:`~repro.core.engine.RunContext` from the keyword services,
+    resolves the three phase kernels through the registry, and runs the
+    engine once.
 
     Parameters
     ----------
     graph:
         Input graph (left unmodified).
     scorer:
-        Merge-gain edge scorer; defaults to modularity.
+        Merge-gain edge scorer — an
+        :class:`~repro.core.scoring.EdgeScorer` instance or a registered
+        scorer name (see :mod:`repro.core.registry`); defaults to
+        modularity.
     termination:
         External stopping constraints; defaults to the paper's
         coverage ≥ 0.5 experiment configuration.
     matcher, contractor:
-        Kernel variants (legacy variants for the ablation benchmarks).
+        Kernel variants by registry name (legacy variants for the
+        ablation benchmarks), or raw kernel callables.
     recorder:
         Optional :class:`TraceRecorder` collecting the execution trace for
         platform simulation.
     tracer:
         Optional :class:`repro.obs.Tracer` recording real wall-clock
-        spans (one ``"level"`` span per level with ``"score"`` /
-        ``"match"`` / ``"contract"`` children, plus a
-        ``"checkpoint_write"`` span per persisted level).  ``None`` uses
-        the zero-overhead :data:`~repro.obs.NULL_TRACER`.
+        spans (an ``"agglomeration"`` run-level span wrapping one
+        ``"level"`` span per level with ``"score"`` / ``"match"`` /
+        ``"contract"`` children, plus a ``"checkpoint_write"`` span per
+        persisted level).  ``None`` uses the zero-overhead
+        :data:`~repro.obs.NULL_TRACER`.
     timeline:
         Optional :class:`repro.obs.QualityTimeline` recording one
         algorithm-quality sample per completed level (modularity,
@@ -181,6 +118,12 @@ def detect_communities(
         fresh run.
     checkpoint_every:
         Persist every N-th level (default: every level).
+    backend:
+        Execution backend phases may request chunked parallel execution
+        from — an :class:`~repro.parallel.backends.ExecutionBackend`
+        instance or a registered name (``"serial"``, ``"process-pool"``).
+        ``None`` runs serial.  Backend choice never changes results,
+        only the execution profile.
 
     Returns
     -------
@@ -190,213 +133,20 @@ def detect_communities(
         the :class:`~repro.resilience.RecoveryReport` of recovery actions
         taken along the way.
     """
-    if scorer is None:
-        scorer = ModularityScorer()
-    if termination is None:
-        termination = TerminationCriteria.paper_experiments()
-    if checkpoint_every < 1:
-        raise ValueError("checkpoint_every must be at least 1")
-    try:
-        match_fn = _MATCHERS[matcher]
-    except KeyError:
-        raise ValueError(f"unknown matcher {matcher!r}") from None
-    try:
-        contract_fn = _CONTRACTORS[contractor]
-    except KeyError:
-        raise ValueError(f"unknown contractor {contractor!r}") from None
-
-    tr = as_tracer(tracer)
-    tl = as_timeline(timeline)
-    recovery = RecoveryReport()
-    manager = (
-        CheckpointManager(checkpoint_dir) if checkpoint_dir is not None else None
+    engine = AgglomerationEngine(
+        scorer,
+        matcher=matcher,
+        contractor=contractor,
+        termination=termination,
     )
-
-    current = graph.copy()
-    dendrogram = Dendrogram(graph.n_vertices)
-    levels: list[LevelStats] = []
-    # Input vertices per community, for the max_community_size veto.
-    member_counts = np.ones(graph.n_vertices, dtype=VERTEX_DTYPE)
-    terminated_by = "local_maximum"
-
-    if resume:
-        if manager is None:
-            raise ValueError("resume=True requires checkpoint_dir")
-        state, n_invalid = manager.load_latest()
-        recovery.checkpoints_invalid += n_invalid
-        if state is not None:
-            if state.n_input_vertices != graph.n_vertices:
-                raise CheckpointError(
-                    f"checkpoint covers {state.n_input_vertices} input "
-                    f"vertices but the graph has {graph.n_vertices}"
-                )
-            current = state.graph
-            dendrogram = Dendrogram(graph.n_vertices)
-            for mapping in state.maps:
-                dendrogram.push(mapping)
-            member_counts = np.asarray(
-                state.member_counts, dtype=VERTEX_DTYPE
-            )
-            levels = [LevelStats(**d) for d in state.level_stats]
-            recovery.resumed_from_level = state.level
-            _log.info(
-                "resumed from checkpoint level %d (%d communities)",
-                state.level,
-                current.n_vertices,
-            )
-
-    while True:
-        if current.n_vertices <= termination.min_communities:
-            terminated_by = "min_communities"
-            break
-        if (
-            termination.max_levels is not None
-            and len(levels) >= termination.max_levels
-        ):
-            terminated_by = "max_levels"
-            break
-
-        level_idx = len(levels)
-        entering_v = current.n_vertices
-        entering_e = current.n_edges
-        with tr.span(
-            "level", level=level_idx, n_vertices=entering_v, n_edges=entering_e
-        ) as level_span:
-            with tr.span("score", level=level_idx) as sp:
-                # Built-in scorers validate their own output; this covers
-                # protocol implementations supplied by callers too.
-                scores = validate_scores(
-                    scorer.score(current, recorder), scorer=scorer.name
-                )
-                if termination.max_community_size is not None:
-                    e = current.edges
-                    too_big = (
-                        member_counts[e.ei] + member_counts[e.ej]
-                        > termination.max_community_size
-                    )
-                    scores = np.where(too_big, -np.inf, scores)
-                n_positive = int(np.count_nonzero(scores > 0))
-                sp.set(
-                    items=entering_e,
-                    scorer=scorer.name,
-                    n_positive=n_positive,
-                )
-            if n_positive == 0:
-                terminated_by = "local_maximum"
-                break
-
-            with tr.span("match", level=level_idx) as sp:
-                matching = match_fn(current, scores, recorder, tracer=tr)
-                max_pairs = current.n_vertices - termination.min_communities
-                if matching.n_pairs > max_pairs:
-                    limited = _limit_matching(matching, scores, max_pairs)
-                    # Rebuild partner from the kept edges.
-                    partner = limited.partner
-                    kept = limited.matched_edges
-                    partner[current.edges.ei[kept]] = current.edges.ej[kept]
-                    partner[current.edges.ej[kept]] = current.edges.ei[kept]
-                    matching = limited
-                sp.set(
-                    items=n_positive,
-                    n_pairs=matching.n_pairs,
-                    passes=matching.passes,
-                    failed_claims=matching.failed_claims,
-                )
-
-            with tr.span("contract", level=level_idx) as sp:
-                current, mapping = contract_fn(
-                    current, matching, recorder, tracer=tr
-                )
-                sp.set(
-                    items=entering_e,
-                    n_vertices_after=current.n_vertices,
-                    n_edges_after=current.n_edges,
-                )
-            dendrogram.push(mapping)
-            member_counts = np.bincount(
-                mapping, weights=member_counts, minlength=current.n_vertices
-            ).astype(VERTEX_DTYPE)
-            if recorder is not None:
-                recorder.next_level()
-
-            cov = current.coverage()
-            stats = LevelStats(
-                level=level_idx,
-                n_vertices=entering_v,
-                n_edges=entering_e,
-                n_positive_scores=n_positive,
-                n_pairs=matching.n_pairs,
-                matching_passes=matching.passes,
-                coverage_after=cov,
-                modularity_after=community_graph_modularity(current),
-            )
-            level_span.set(
-                n_pairs=matching.n_pairs,
-                coverage_after=cov,
-            )
-        tr.histogram("agglomeration.matching_passes").observe(matching.passes)
-        tl.record_level(
-            level=stats.level,
-            n_vertices_entering=entering_v,
-            n_pairs=matching.n_pairs,
-            matching_passes=matching.passes,
-            n_communities=current.n_vertices,
-            modularity=stats.modularity_after,
-            coverage=cov,
-            member_counts=member_counts,
-        )
-        levels.append(stats)
-        if manager is not None and len(levels) % checkpoint_every == 0:
-            with tr.span("checkpoint_write", level=level_idx) as sp:
-                path = manager.save(
-                    CheckpointState(
-                        level=len(levels),
-                        graph=current,
-                        maps=list(dendrogram.maps),
-                        member_counts=member_counts,
-                        level_stats=[asdict(s) for s in levels],
-                        scorer_name=scorer.name,
-                    )
-                )
-                sp.set(
-                    path=str(path),
-                    n_communities=current.n_vertices,
-                )
-            recovery.checkpoints_written += 1
-            tr.counter("resilience.checkpoints_written").inc()
-        _log.info(
-            "level %d: %d -> %d communities, coverage %.3f",
-            stats.level,
-            entering_v,
-            current.n_vertices,
-            cov,
-        )
-        if progress is not None:
-            progress(stats)
-
-        if termination.coverage is not None and cov >= termination.coverage:
-            terminated_by = "coverage"
-            break
-        if (
-            termination.min_merge_fraction is not None
-            and matching.n_pairs < termination.min_merge_fraction * entering_v
-        ):
-            terminated_by = "stalled"
-            break
-
-    # Fold pool-level recovery accounting (e.g. ParallelModularityScorer)
-    # into the run's report; use a fresh scorer per run to avoid carrying
-    # counts across runs.
-    scorer_report = getattr(scorer, "report", None)
-    if isinstance(scorer_report, RecoveryReport):
-        recovery.merge(scorer_report)
-
-    return AgglomerationResult(
-        partition=dendrogram.final_partition(),
-        dendrogram=dendrogram,
-        levels=levels,
-        terminated_by=terminated_by,
-        final_graph=current,
-        scorer_name=scorer.name,
-        recovery=recovery,
+    ctx = RunContext.create(
+        tracer=tracer,
+        timeline=timeline,
+        backend=backend,
+        recorder=recorder,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        progress=progress,
     )
+    ctx.log = _log  # legacy logger name for per-level progress lines
+    return engine.run(graph, ctx, resume=resume)

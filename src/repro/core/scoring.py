@@ -64,7 +64,17 @@ def validate_scores(
 
 @runtime_checkable
 class EdgeScorer(Protocol):
-    """Protocol for merge-gain edge scorers."""
+    """Protocol for merge-gain edge scorers.
+
+    Implementations that validate their own output (all built-ins call
+    :func:`validate_scores` before returning) advertise it with a
+    ``validates_output = True`` class attribute so the engine skips its
+    driver-side re-validation; external implementations without the
+    attribute are validated once by the engine's score phase.
+    Implementations may additionally offer ``score_with_backend`` (see
+    :meth:`ModularityScorer.score_with_backend`) to run chunked on a
+    :class:`~repro.parallel.backends.ExecutionBackend`.
+    """
 
     name: str
 
@@ -99,6 +109,7 @@ class ModularityScorer:
     """ΔQ of merging an edge's endpoints: ``w/W - vol_i * vol_j / (2 W²)``."""
 
     name = "modularity"
+    validates_output = True
 
     def score(
         self, graph: CommunityGraph, recorder: TraceRecorder | None = None
@@ -113,6 +124,34 @@ class ModularityScorer:
         return validate_scores(
             scores.astype(SCORE_DTYPE, copy=False), scorer=self.name
         )
+
+    def score_with_backend(
+        self,
+        graph: CommunityGraph,
+        backend,
+        *,
+        tracer=None,
+        recorder: TraceRecorder | None = None,
+        report=None,
+    ) -> np.ndarray:
+        """Score chunked on an execution backend — bit-identical to
+        :meth:`score` (same arithmetic over disjoint chunk slices).
+
+        The engine's score phase calls this instead of :meth:`score`
+        whenever the run's backend provides parallelism
+        (``backend.n_workers > 1``); recovery actions taken by the
+        backend accumulate into ``report``.
+        """
+        from repro.parallel.pool import parallel_edge_scores
+
+        scores = parallel_edge_scores(
+            graph,
+            backend=backend,
+            tracer=tracer,
+            report=report,
+        )
+        _record_scoring(recorder, graph, self.name)
+        return scores
 
 
 class ConductanceScorer:
@@ -129,6 +168,7 @@ class ConductanceScorer:
     """
 
     name = "conductance"
+    validates_output = True
 
     def score(
         self, graph: CommunityGraph, recorder: TraceRecorder | None = None
@@ -167,6 +207,7 @@ class WeightScorer:
     """
 
     name = "weight"
+    validates_output = True
 
     def score(
         self, graph: CommunityGraph, recorder: TraceRecorder | None = None

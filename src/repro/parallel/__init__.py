@@ -19,6 +19,15 @@ from repro.parallel.pool import (
     SharedOutput,
     parallel_edge_scores,
 )
+from repro.parallel.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    as_backend,
+    backend_names,
+    create_backend,
+    register_backend,
+)
 
 __all__ = [
     "chunk_ranges",
@@ -30,4 +39,11 @@ __all__ = [
     "SharedOutput",
     "parallel_edge_scores",
     "ParallelModularityScorer",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "register_backend",
+    "backend_names",
+    "create_backend",
+    "as_backend",
 ]

@@ -43,7 +43,7 @@ import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from multiprocessing.connection import wait as _sentinel_wait
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -60,6 +60,9 @@ from repro.resilience.faults import FaultPlan
 from repro.resilience.report import RecoveryReport
 from repro.resilience.retry import RetryPolicy
 from repro.types import SCORE_DTYPE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (backends → pool)
+    from repro.parallel.backends import ExecutionBackend
 
 __all__ = [
     "SharedOutput",
@@ -511,6 +514,7 @@ def parallel_edge_scores(
     graph: CommunityGraph,
     *,
     n_workers: int | None = None,
+    backend: "ExecutionBackend | None" = None,
     tracer: Tracer | NullTracer | None = None,
     policy: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
@@ -523,8 +527,16 @@ def parallel_edge_scores(
     integration- and chaos-tested.  Chunk outputs are validated for
     NaN/inf parent-side, so corrupted worker output triggers re-execution
     rather than propagating.
+
+    ``backend`` selects the :class:`~repro.parallel.backends.ExecutionBackend`
+    the chunks map over; ``None`` keeps the historical behavior of a
+    :class:`SharedArrayPool` sized by ``n_workers`` (the two arguments
+    are mutually exclusive).
     """
     from repro.core.scoring import validate_scores
+
+    if backend is not None and n_workers is not None:
+        raise ValueError("pass either backend or n_workers, not both")
 
     e = graph.edges
     m = e.n_edges
@@ -546,8 +558,8 @@ def parallel_edge_scores(
             def chunk_is_finite(lo: int, hi: int) -> bool:
                 return bool(np.isfinite(view[lo:hi]).all())
 
-            with SharedArrayPool(n_workers) as pool:
-                pool.run(
+            if backend is not None:
+                backend.map_chunks(
                     _score_chunk,
                     out.name,
                     m,
@@ -557,6 +569,18 @@ def parallel_edge_scores(
                     validate=chunk_is_finite,
                     report=report,
                 )
+            else:
+                with SharedArrayPool(n_workers) as pool:
+                    pool.run(
+                        _score_chunk,
+                        out.name,
+                        m,
+                        tracer=tracer,
+                        policy=policy,
+                        faults=faults,
+                        validate=chunk_is_finite,
+                        report=report,
+                    )
             scores = view.copy()
             del view  # drop the buffer export before the segment is freed
     finally:
@@ -575,19 +599,30 @@ class ParallelModularityScorer:
 
     Pass the *same* tracer instance given to ``detect_communities`` so
     the ``pool_run`` spans nest under the per-level ``score`` spans.
+
+    Prefer selecting a backend on the run itself
+    (``detect_communities(..., backend="process-pool")``) for new code;
+    this class remains for callers that configure the scorer directly,
+    and accepts an explicit ``backend`` as the modern alternative to
+    ``n_workers``.
     """
 
     name = "modularity"
+    validates_output = True
 
     def __init__(
         self,
         n_workers: int | None = None,
         *,
+        backend: "ExecutionBackend | None" = None,
         policy: RetryPolicy | None = None,
         faults: FaultPlan | None = None,
         tracer: Tracer | NullTracer | None = None,
     ) -> None:
+        if backend is not None and n_workers is not None:
+            raise ValueError("pass either backend or n_workers, not both")
         self.n_workers = n_workers
+        self.backend = backend
         self.policy = policy
         self.faults = faults
         self.tracer = tracer
@@ -601,6 +636,7 @@ class ParallelModularityScorer:
         scores = parallel_edge_scores(
             graph,
             n_workers=self.n_workers,
+            backend=self.backend,
             tracer=self.tracer,
             policy=self.policy,
             faults=self.faults,

@@ -106,6 +106,40 @@ class TestDetect:
         assert main(["detect", karate_file, "--workers", "2"]) == 0
         assert capsys.readouterr().out == serial_out
 
+    def test_backend_selectable_by_name(self, karate_file, capsys):
+        assert main(["detect", karate_file]) == 0
+        default_out = capsys.readouterr().out
+        for backend in ["serial", "process-pool"]:
+            assert (
+                main(["detect", karate_file, "--backend", backend]) == 0
+            )
+            assert capsys.readouterr().out == default_out
+
+    def test_backend_identity_in_trace(self, karate_file, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        rc = main(
+            [
+                "detect",
+                karate_file,
+                "--backend",
+                "serial",
+                "--trace-out",
+                str(trace),
+            ]
+        )
+        assert rc == 0
+        events = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        spans = [e for e in events if e.get("event") == "span"]
+        (engine_span,) = [
+            e for e in spans if e["name"] == "agglomeration"
+        ]
+        assert engine_span["attrs"]["backend"] == "serial"
+        assert "terminated_by" in engine_span["attrs"]
+
     def test_npz_input(self, tmp_path, capsys):
         path = tmp_path / "k.npz"
         save_npz(karate_club(), path)

@@ -1,0 +1,152 @@
+"""Tests for pluggable execution backends: the registry, normalization,
+and the backend_map span/metric contract."""
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import ModularityScorer
+from repro.obs.trace import Tracer
+from repro.parallel import backends as backends_mod
+from repro.parallel.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    as_backend,
+    backend_names,
+    create_backend,
+    register_backend,
+)
+from repro.parallel.pool import parallel_edge_scores
+
+
+class TestRegistry:
+    def test_builtins_discoverable(self):
+        names = backend_names()
+        assert "serial" in names
+        assert "process-pool" in names
+        assert names == tuple(sorted(names))
+
+    def test_create_by_name(self):
+        assert isinstance(create_backend("serial"), SerialBackend)
+        pooled = create_backend("process-pool", n_workers=2)
+        assert isinstance(pooled, ProcessPoolBackend)
+        assert pooled.n_workers == 2
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="unknown backend 'gpu'"):
+            create_backend("gpu")
+        with pytest.raises(ValueError, match="serial"):
+            create_backend("gpu")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("serial", SerialBackend)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            register_backend("", SerialBackend)
+
+    def test_custom_backend_registration(self, monkeypatch):
+        class Recording(SerialBackend):
+            name = "recording"
+
+        monkeypatch.setitem(
+            backends_mod._BACKENDS, "recording", Recording
+        )
+        backend = create_backend("recording")
+        assert backend.name == "recording"
+        assert isinstance(backend, ExecutionBackend)
+
+    def test_builtins_satisfy_protocol(self):
+        assert isinstance(SerialBackend(), ExecutionBackend)
+        assert isinstance(ProcessPoolBackend(1), ExecutionBackend)
+
+
+class TestNormalization:
+    def test_none_defaults_to_serial(self):
+        backend = as_backend(None)
+        assert isinstance(backend, SerialBackend)
+        assert backend.n_workers == 1
+
+    def test_none_with_workers_means_process_pool(self):
+        backend = as_backend(None, n_workers=2)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.n_workers == 2
+
+    def test_string_resolves_through_registry(self):
+        assert isinstance(as_backend("serial"), SerialBackend)
+
+    def test_instance_passes_through(self):
+        backend = SerialBackend()
+        assert as_backend(backend) is backend
+
+    def test_serial_ignores_requested_width(self):
+        assert SerialBackend(n_workers=8).n_workers == 1
+        assert create_backend("serial", n_workers=8).n_workers == 1
+
+
+class TestMapChunksObservability:
+    def test_backend_map_span_and_metrics(self, random_graph_factory):
+        graph = random_graph_factory(n=60, m=200, seed=3)
+        tracer = Tracer()
+        backend = SerialBackend()
+        scores = parallel_edge_scores(graph, backend=backend, tracer=tracer)
+        (span,) = tracer.find("backend_map")
+        assert span.attrs["backend"] == "serial"
+        assert span.attrs["n_workers"] == 1
+        assert span.items == graph.n_edges
+        assert tracer.counter("backend.serial.maps").value == 1
+        assert tracer.gauge("backend.serial.workers").value == 1
+        np.testing.assert_array_equal(
+            scores, ModularityScorer().score(graph)
+        )
+
+    def test_process_pool_identity_visible(self, random_graph_factory):
+        graph = random_graph_factory(n=60, m=200, seed=3)
+        tracer = Tracer()
+        backend = ProcessPoolBackend(2)
+        parallel_edge_scores(graph, backend=backend, tracer=tracer)
+        (span,) = tracer.find("backend_map")
+        assert span.attrs["backend"] == "process-pool"
+        assert span.attrs["n_workers"] == 2
+        assert tracer.counter("backend.process-pool.maps").value == 1
+        assert tracer.gauge("backend.process-pool.workers").value == 2
+
+    def test_backend_and_n_workers_mutually_exclusive(
+        self, random_graph_factory
+    ):
+        graph = random_graph_factory(n=10, m=20, seed=0)
+        with pytest.raises(ValueError, match="not both"):
+            parallel_edge_scores(
+                graph, backend=SerialBackend(), n_workers=2
+            )
+
+    def test_map_chunks_returns_recovery_report(self, random_graph_factory):
+        graph = random_graph_factory(n=30, m=80, seed=1)
+        from repro.parallel.pool import SharedOutput, _score_chunk, _WORK
+        from repro.types import SCORE_DTYPE
+
+        e = graph.edges
+        _WORK["ei"] = e.ei
+        _WORK["ej"] = e.ej
+        _WORK["w"] = e.w
+        _WORK["vol"] = graph.strengths()
+        _WORK["w_total"] = graph.total_weight()
+        try:
+            with SharedOutput(graph.n_edges, SCORE_DTYPE) as out:
+                rep = SerialBackend().map_chunks(
+                    _score_chunk, out.name, graph.n_edges
+                )
+                assert rep.retries == 0
+        finally:
+            _WORK.clear()
+
+
+class TestBackendScoringParity:
+    def test_serial_and_pool_scores_bit_identical(self, random_graph_factory):
+        graph = random_graph_factory(n=80, m=300, seed=5)
+        serial = parallel_edge_scores(graph, backend=SerialBackend())
+        pooled = parallel_edge_scores(graph, backend=ProcessPoolBackend(2))
+        reference = ModularityScorer().score(graph)
+        np.testing.assert_array_equal(serial, reference)
+        np.testing.assert_array_equal(pooled, reference)
