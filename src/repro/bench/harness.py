@@ -25,6 +25,7 @@ from repro.parallel.backends import ExecutionBackend, as_backend
 from repro.platform.kernels import TraceRecorder
 from repro.platform.machine import MachineModel
 from repro.platform.sim import simulate_sweep, simulate_time
+from repro.resilience.guardian import NullGuardian, RunGuardian
 from repro.util.rng import SeedLike
 
 __all__ = [
@@ -103,6 +104,7 @@ def run_with_trace(
     checkpoint_dir: str | None = None,
     resume: bool = False,
     backend: "ExecutionBackend | str | None" = None,
+    guardian: "RunGuardian | NullGuardian | None" = None,
 ) -> TracedRun:
     """Run detection with a fresh recorder (and optional tracer) attached.
 
@@ -115,6 +117,10 @@ def run_with_trace(
     so long benchmark runs survive interruption (see docs/RESILIENCE.md).
     ``backend`` selects the execution backend by name or instance (see
     docs/ARCHITECTURE.md); the run span records which backend ran.
+    ``guardian`` attaches a :class:`~repro.resilience.RunGuardian`
+    supervising the run (watchdog, invariant audits, degradation
+    ladder) — its recovery accounting lands on the result and hence the
+    benchmark ledger.
     """
     recorder = TraceRecorder()
     tr = as_tracer(tracer)
@@ -132,6 +138,7 @@ def run_with_trace(
             checkpoint_dir=checkpoint_dir,
             resume=resume,
             backend=backend_obj,
+            guardian=guardian,
         )
         sp.set(
             items=graph.n_edges,

@@ -79,7 +79,10 @@ class Repetition:
     is the :meth:`~repro.obs.QualityTimeline.as_dict` timeline (or
     ``None`` when not recorded); ``peak_rss_bytes`` is the process peak
     resident set at the end of the repetition (``None`` when the
-    platform cannot report it).
+    platform cannot report it); ``recovery`` is the run's
+    :meth:`~repro.resilience.RecoveryReport.as_dict` dump when any
+    recovery or guardian action fired (``None`` for clean runs), so
+    degraded benchmark numbers are never mistaken for healthy ones.
     """
 
     total_s: float
@@ -89,6 +92,7 @@ class Repetition:
     n_levels: int = 0
     n_communities: int = 0
     terminated_by: str = ""
+    recovery: dict | None = None
 
     def final_quality(self) -> dict | None:
         """The last level's quality sample, if a timeline was recorded."""
@@ -154,6 +158,7 @@ class RunRecord:
                     "n_levels": r.n_levels,
                     "n_communities": r.n_communities,
                     "terminated_by": r.terminated_by,
+                    "recovery": r.recovery,
                 }
                 for r in self.repetitions
             ],
@@ -178,6 +183,7 @@ class RunRecord:
                     n_levels=int(r.get("n_levels", 0)),
                     n_communities=int(r.get("n_communities", 0)),
                     terminated_by=r.get("terminated_by", ""),
+                    recovery=r.get("recovery"),
                 )
                 for r in data.get("repetitions", [])
             ]
@@ -203,6 +209,7 @@ def repetition_from_run(run, total_s: float) -> Repetition:
     quality block from its timeline, when either was attached.
     """
     timeline = getattr(run, "timeline", None)
+    recovery = getattr(run.result, "recovery", None)
     return Repetition(
         total_s=float(total_s),
         phases=run.phase_breakdown() or {},
@@ -215,6 +222,11 @@ def repetition_from_run(run, total_s: float) -> Repetition:
         n_levels=run.result.n_levels,
         n_communities=run.result.n_communities,
         terminated_by=run.result.terminated_by,
+        recovery=(
+            recovery.as_dict()
+            if recovery is not None and recovery.any_recovery()
+            else None
+        ),
     )
 
 
@@ -524,4 +536,27 @@ def render_ledger(record: RunRecord) -> str:
         blocks.append(
             f"peak RSS: {rep.peak_rss_bytes / (1024 * 1024):.1f} MiB"
         )
+    degraded = [
+        (idx, r.recovery)
+        for idx, r in enumerate(record.repetitions)
+        if r.recovery
+    ]
+    if degraded:
+        lines = ["recovery/guardian activity (degraded repetitions):"]
+        for idx, rec in degraded:
+            ladder = rec.get("ladder") or []
+            parts = [
+                f"{key}={rec[key]}"
+                for key in (
+                    "retries",
+                    "degraded_chunks",
+                    "chunk_failures",
+                    "guardian_breaches",
+                )
+                if rec.get(key)
+            ]
+            if ladder:
+                parts.append(f"ladder=[{' -> '.join(ladder)}]")
+            lines.append(f"  rep {idx}: {', '.join(parts) or 'recovered'}")
+        blocks.append("\n".join(lines))
     return "\n\n".join(blocks)

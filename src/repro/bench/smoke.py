@@ -31,6 +31,8 @@ from repro.bench.ledger import (
 from repro.generators import planted_partition_graph
 from repro.obs import QualityTimeline, Tracer
 from repro.parallel.backends import backend_names, create_backend
+from repro.resilience.guardian import RunGuardian
+from repro.resilience.invariants import AUDIT_MODES
 
 __all__ = ["run_smoke", "main"]
 
@@ -46,6 +48,7 @@ def run_smoke(
     backend: str | None = None,
     n_workers: int = 1,
     directory: str = ".",
+    audit: str = "sample",
 ):
     """Run the smoke benchmark and write its ledger; returns (record, path)."""
     if reps < 1:
@@ -71,6 +74,7 @@ def run_smoke(
             "seed": seed,
             "backend": backend_obj.name if backend_obj is not None else "serial",
             "n_workers": backend_obj.n_workers if backend_obj is not None else 1,
+            "audit": audit,
         },
         host=host_info(),
         created_unix=time.time(),
@@ -78,6 +82,9 @@ def run_smoke(
     for _ in range(reps):
         tracer = Tracer()
         timeline = QualityTimeline()
+        # Fresh guardian per repetition: the ladder position and audit
+        # counters must not leak across timed runs.
+        guardian = RunGuardian(audit) if audit != "off" else None
         t0 = time.perf_counter()
         run = run_with_trace(
             graph,
@@ -87,6 +94,7 @@ def run_smoke(
             tracer=tracer,
             timeline=timeline,
             backend=backend_obj,
+            guardian=guardian,
         )
         total_s = time.perf_counter() - t0
         record.repetitions.append(repetition_from_run(run, total_s))
@@ -121,6 +129,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--out-dir", default=".", help="directory for the ledger file"
     )
+    parser.add_argument(
+        "--audit",
+        default="sample",
+        choices=AUDIT_MODES,
+        help="run-guardian invariant audit strictness (default: sample; "
+        "the smoke gate proves its overhead stays inside the compare "
+        "noise floor)",
+    )
     args = parser.parse_args(argv)
     record, path = run_smoke(
         name=args.name,
@@ -132,6 +148,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         backend=args.backend,
         n_workers=args.workers,
         directory=args.out_dir,
+        audit=args.audit,
     )
     print(render_ledger(record))
     print(f"\nledger written to {path}", file=sys.stderr)

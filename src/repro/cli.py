@@ -32,6 +32,7 @@ from repro.core import (
     kernel_names,
     refine_partition,
 )
+from repro.errors import RunAbortedError
 from repro.graph import (
     load_npz,
     read_edgelist,
@@ -44,6 +45,8 @@ from repro.graph.graph import CommunityGraph
 from repro.metrics import Partition, average_conductance, coverage, modularity
 from repro.obs import Tracer, as_tracer, render_profile, write_trace
 from repro.parallel.backends import backend_names, create_backend
+from repro.resilience.guardian import RunGuardian
+from repro.resilience.invariants import AUDIT_MODES
 
 __all__ = ["main"]
 
@@ -142,25 +145,58 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                     f"backend execution; scoring in-process",
                     file=sys.stderr,
                 )
+        guardian = None
+        if (
+            args.audit != "off"
+            or args.phase_deadline is not None
+            or args.memory_budget is not None
+        ):
+            guardian = RunGuardian(
+                args.audit,
+                phase_deadline_s=args.phase_deadline,
+                memory_budget_mb=args.memory_budget,
+            )
         tr = as_tracer(tracer)
-        with tr.span("run", graph=args.input, algorithm="parallel") as rsp:
-            result = detect_communities(
-                graph,
-                scorer,
-                termination=termination,
-                matcher=args.matcher,
-                contractor=args.contractor,
-                tracer=tracer,
-                checkpoint_dir=args.checkpoint_dir,
-                resume=args.resume,
-                backend=backend,
+        try:
+            with tr.span(
+                "run", graph=args.input, algorithm="parallel"
+            ) as rsp:
+                result = detect_communities(
+                    graph,
+                    scorer,
+                    termination=termination,
+                    matcher=args.matcher,
+                    contractor=args.contractor,
+                    tracer=tracer,
+                    checkpoint_dir=args.checkpoint_dir,
+                    resume=args.resume,
+                    backend=backend,
+                    guardian=guardian,
+                )
+                rsp.set(
+                    items=graph.n_edges,
+                    n_levels=result.n_levels,
+                    terminated_by=result.terminated_by,
+                    backend=backend.name if backend is not None else "serial",
+                )
+        except RunAbortedError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            if exc.report is not None:
+                print(f"resilience: {exc.report.summary()}", file=sys.stderr)
+            if exc.checkpoint_path is not None:
+                print(
+                    f"checkpoint written to {exc.checkpoint_path}; re-run "
+                    "with --resume to continue from the completed levels",
+                    file=sys.stderr,
+                )
+            # the trace carries the guardian breach/degrade spans — the
+            # forensics are most valuable exactly when the run aborted
+            _emit_trace(
+                tracer,
+                args,
+                meta={"command": "detect", "input": args.input, "aborted": True},
             )
-            rsp.set(
-                items=graph.n_edges,
-                n_levels=result.n_levels,
-                terminated_by=result.terminated_by,
-                backend=backend.name if backend is not None else "serial",
-            )
+            return 3
         partition = result.partition
         print(
             f"parallel agglomeration: {result.n_levels} levels, "
@@ -444,6 +480,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend phases run chunked work on "
         "(default: serial, or process-pool when --workers > 1; "
         "see docs/ARCHITECTURE.md)",
+    )
+    p.add_argument(
+        "--audit",
+        default="sample",
+        choices=AUDIT_MODES,
+        help="run-guardian invariant audit strictness: 'off' disables "
+        "the auditor, 'sample' (default) runs cheap conservation checks "
+        "every level and recomputes quality on sampled levels, 'full' "
+        "verifies everything every level (see docs/RESILIENCE.md)",
+    )
+    p.add_argument(
+        "--phase-deadline",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="soft per-phase deadline; a breach steps the guardian's "
+        "degradation ladder (serial backend, smaller chunks, lighter "
+        "audits, finally checkpoint-and-abort)",
+    )
+    p.add_argument(
+        "--memory-budget",
+        type=float,
+        metavar="MB",
+        default=None,
+        help="soft resident-memory budget sampled after each phase; "
+        "a breach steps the degradation ladder",
     )
     p.add_argument(
         "--checkpoint-dir",

@@ -41,6 +41,7 @@ from repro.obs.timeline import NullTimeline, QualityTimeline
 from repro.obs.trace import NullTracer, Tracer
 from repro.parallel.backends import ExecutionBackend
 from repro.platform.kernels import TraceRecorder
+from repro.resilience.guardian import NullGuardian, RunGuardian
 from repro.util.log import get_logger
 
 __all__ = ["LevelStats", "AgglomerationResult", "detect_communities"]
@@ -63,6 +64,7 @@ def detect_communities(
     resume: bool = False,
     checkpoint_every: int = 1,
     backend: ExecutionBackend | str | None = None,
+    guardian: RunGuardian | NullGuardian | None = None,
 ) -> AgglomerationResult:
     """Detect communities by parallel agglomeration.
 
@@ -124,6 +126,12 @@ def detect_communities(
         instance or a registered name (``"serial"``, ``"process-pool"``).
         ``None`` runs serial.  Backend choice never changes results,
         only the execution profile.
+    guardian:
+        Optional :class:`~repro.resilience.RunGuardian` supervising the
+        run — per-phase soft deadlines, matching-stall detection, a
+        memory-budget guard, post-contraction invariant audits, and the
+        adaptive degradation ladder (see docs/RESILIENCE.md).  ``None``
+        runs unguarded at zero overhead.
 
     Returns
     -------
@@ -147,6 +155,7 @@ def detect_communities(
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=checkpoint_every,
         progress=progress,
+        guardian=guardian,
     )
     ctx.log = _log  # legacy logger name for per-level progress lines
     return engine.run(graph, ctx, resume=resume)

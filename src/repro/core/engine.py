@@ -43,7 +43,7 @@ from repro.core.matching import MatchingResult
 from repro.core.registry import create_kernel
 from repro.core.scoring import EdgeScorer, validate_scores
 from repro.core.termination import TerminationCriteria
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, RunAbortedError
 from repro.graph.edgelist import EdgeList
 from repro.graph.graph import CommunityGraph
 from repro.metrics.modularity import community_graph_modularity
@@ -53,6 +53,12 @@ from repro.obs.trace import NullTracer, Tracer, as_tracer
 from repro.parallel.backends import ExecutionBackend, as_backend
 from repro.platform.kernels import TraceRecorder
 from repro.resilience.checkpoint import CheckpointManager, CheckpointState
+from repro.resilience.guardian import (
+    NULL_GUARDIAN,
+    NullGuardian,
+    RunGuardian,
+    as_guardian,
+)
 from repro.resilience.report import RecoveryReport
 from repro.types import NO_VERTEX, VERTEX_DTYPE
 from repro.util.log import get_logger
@@ -176,6 +182,9 @@ class RunContext:
         kernels that randomize derive from it).
     log:
         Logger the engine reports per-level progress to.
+    guardian:
+        Run guardian (watchdog + invariant audits + degradation
+        ladder); defaults to the inert :data:`NULL_GUARDIAN`.
     """
 
     tracer: Tracer | NullTracer
@@ -188,6 +197,7 @@ class RunContext:
     progress: Callable[[LevelStats], None] | None = None
     seed: int = 0
     log: Any = _log
+    guardian: RunGuardian | NullGuardian = NULL_GUARDIAN
 
     @classmethod
     def create(
@@ -202,6 +212,7 @@ class RunContext:
         checkpoint_every: int = 1,
         progress: Callable[[LevelStats], None] | None = None,
         seed: int = 0,
+        guardian: RunGuardian | NullGuardian | None = None,
     ) -> "RunContext":
         """Normalize optional services into a ready-to-use context."""
         if checkpoint_every < 1:
@@ -220,6 +231,7 @@ class RunContext:
             checkpoint_every=checkpoint_every,
             progress=progress,
             seed=seed,
+            guardian=as_guardian(guardian),
         )
 
 
@@ -406,6 +418,8 @@ class AgglomerationEngine:
             ctx = RunContext.create()
         tr = ctx.tracer
         termination = self.termination
+        guard = as_guardian(ctx.guardian)
+        guard.bind(ctx, graph)
 
         current = graph.copy()
         dendrogram = Dendrogram(graph.n_vertices)
@@ -441,30 +455,73 @@ class AgglomerationEngine:
                         current.n_vertices,
                     )
 
-            while True:
-                if current.n_vertices <= termination.min_communities:
+            try:
+                while current.n_vertices > 0:
+                    if current.n_vertices <= termination.min_communities:
+                        terminated_by = "min_communities"
+                        break
+                    if (
+                        termination.max_levels is not None
+                        and len(levels) >= termination.max_levels
+                    ):
+                        terminated_by = "max_levels"
+                        break
+                    stats, current, member_counts, terminated_by = (
+                        self._run_level(
+                            ctx,
+                            current,
+                            dendrogram,
+                            member_counts,
+                            level_idx=len(levels),
+                            guard=guard,
+                        )
+                    )
+                    if stats is None:
+                        break
+                    levels.append(stats)
+                    self._after_level(
+                        ctx, current, dendrogram, member_counts, levels
+                    )
+                    if terminated_by is not None:
+                        break
+                    terminated_by = "local_maximum"
+                else:
+                    # Degenerate boundary: a vertexless graph has nothing
+                    # to agglomerate (equivalent to hitting the community
+                    # floor immediately).
                     terminated_by = "min_communities"
-                    break
-                if (
-                    termination.max_levels is not None
-                    and len(levels) >= termination.max_levels
-                ):
-                    terminated_by = "max_levels"
-                    break
-                stats, current, member_counts, terminated_by = self._run_level(
-                    ctx,
-                    current,
-                    dendrogram,
-                    member_counts,
-                    level_idx=len(levels),
+            except RunAbortedError as exc:
+                # The guardian spent its last ladder rung.  Persist the
+                # completed levels when checkpointing is configured so
+                # the aborted run stays resumable, then re-raise with
+                # the forensics attached.
+                path = None
+                if ctx.checkpoints is not None and levels:
+                    path = ctx.checkpoints.save(
+                        CheckpointState(
+                            level=len(levels),
+                            graph=current,
+                            maps=list(dendrogram.maps),
+                            member_counts=member_counts,
+                            level_stats=[asdict(s) for s in levels],
+                            scorer_name=self.score_kernel.name,
+                        )
+                    )
+                    ctx.recovery.checkpoints_written += 1
+                    tr.counter("resilience.checkpoints_written").inc()
+                exc.checkpoint_path = path
+                exc.report = ctx.recovery
+                run_span.set(
+                    terminated_by="aborted",
+                    n_levels=len(levels),
+                    items=graph.n_edges,
                 )
-                if stats is None:
-                    break
-                levels.append(stats)
-                self._after_level(ctx, current, dendrogram, member_counts, levels)
-                if terminated_by is not None:
-                    break
-                terminated_by = "local_maximum"
+                ctx.log.error(
+                    "run aborted by guardian after %d levels: %s",
+                    len(levels),
+                    exc,
+                )
+                raise
 
             run_span.set(
                 terminated_by=terminated_by,
@@ -498,6 +555,7 @@ class AgglomerationEngine:
         member_counts: np.ndarray,
         *,
         level_idx: int,
+        guard: RunGuardian | NullGuardian = NULL_GUARDIAN,
     ) -> tuple[
         LevelStats | None, CommunityGraph, np.ndarray, str | None
     ]:
@@ -517,7 +575,8 @@ class AgglomerationEngine:
             "level", level=level_idx, n_vertices=entering_v, n_edges=entering_e
         ) as level_span:
             with tr.span("score", level=level_idx) as sp:
-                scores = self.score_kernel.run(ctx, current)
+                with guard.phase("score", level_idx):
+                    scores = self.score_kernel.run(ctx, current)
                 if termination.max_community_size is not None:
                     e = current.edges
                     too_big = (
@@ -535,9 +594,14 @@ class AgglomerationEngine:
                 return None, current, member_counts, "local_maximum"
 
             with tr.span("match", level=level_idx) as sp:
-                matching = self.match_kernel.run(ctx, current, scores=scores)
+                with guard.phase("match", level_idx):
+                    matching = self.match_kernel.run(
+                        ctx, current, scores=scores
+                    )
+                guard.observe_matching(level_idx, matching, entering_v)
                 max_pairs = current.n_vertices - termination.min_communities
-                if matching.n_pairs > max_pairs:
+                limited = matching.n_pairs > max_pairs
+                if limited:
                     matching = _limit_matching(
                         matching, scores, max_pairs, current.edges
                     )
@@ -548,15 +612,26 @@ class AgglomerationEngine:
                     failed_claims=matching.failed_claims,
                 )
 
+            before = current
             with tr.span("contract", level=level_idx) as sp:
-                current, mapping = self.contract_kernel.run(
-                    ctx, current, matching=matching
-                )
+                with guard.phase("contract", level_idx):
+                    current, mapping = self.contract_kernel.run(
+                        ctx, current, matching=matching
+                    )
                 sp.set(
                     items=entering_e,
                     n_vertices_after=current.n_vertices,
                     n_edges_after=current.n_edges,
                 )
+            guard.audit_contraction(
+                level_idx,
+                graph_before=before,
+                scores=scores,
+                matching=matching,
+                mapping=mapping,
+                graph_after=current,
+                limited=limited,
+            )
             dendrogram.push(mapping)
             member_counts = np.bincount(
                 mapping, weights=member_counts, minlength=current.n_vertices
@@ -574,6 +649,12 @@ class AgglomerationEngine:
                 matching_passes=matching.passes,
                 coverage_after=cov,
                 modularity_after=community_graph_modularity(current),
+            )
+            guard.audit_quality(
+                level_idx,
+                partition=dendrogram.final_partition,
+                tracked_modularity=stats.modularity_after,
+                tracked_coverage=cov,
             )
             level_span.set(
                 n_pairs=matching.n_pairs,

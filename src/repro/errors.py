@@ -11,12 +11,14 @@ __all__ = [
     "ReproError",
     "GraphFormatError",
     "GraphFormatWarning",
+    "GuardianBreach",
     "InvariantViolation",
     "ScoreValidationError",
     "ConvergenceError",
     "PlatformModelError",
     "CheckpointError",
     "ChunkFailureError",
+    "RunAbortedError",
 ]
 
 
@@ -77,5 +79,45 @@ class ChunkFailureError(ReproError):
 
     This is the unrecoverable end of the :class:`repro.resilience.RetryPolicy`
     escalation ladder; seeing it means the failure is deterministic in the
-    chunk itself (bad input, bug), not worker-process flakiness.
+    chunk itself (bad input, bug), not worker-process flakiness.  Each
+    escalation to this error is counted in
+    :attr:`repro.resilience.RecoveryReport.chunk_failures`.
     """
+
+
+class GuardianBreach(UserWarning):
+    """A run-guardian watchdog threshold was breached and absorbed.
+
+    Emitted by :class:`repro.resilience.RunGuardian` when a phase
+    deadline, matching-stall, or memory-budget breach triggers a rung of
+    the degradation ladder instead of an abort — the run continues in a
+    degraded mode, and this warning (plus the
+    :attr:`~repro.resilience.RecoveryReport.ladder` record and the
+    ``guardian.*`` metrics) is how the degradation stays visible.
+    """
+
+
+class RunAbortedError(ReproError):
+    """The run guardian exhausted its degradation ladder and stopped the run.
+
+    Raised only after every softer rung (backend downgrade, chunk
+    halving, audit lowering) has been spent; the engine writes a final
+    checkpoint first when a checkpoint directory is configured, so the
+    run is resumable.  Attributes ``reason`` (the breach that spent the
+    last rung), ``checkpoint_path`` (the final checkpoint, or ``None``),
+    and ``report`` (the run's :class:`~repro.resilience.RecoveryReport`)
+    carry the forensics.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "",
+        checkpoint_path=None,
+        report=None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.checkpoint_path = checkpoint_path
+        self.report = report

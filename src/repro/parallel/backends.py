@@ -96,9 +96,14 @@ class _PoolBackedBackend:
 
     name = "pool-backed"
 
-    def __init__(self, n_workers: int | None = None) -> None:
-        self._pool = SharedArrayPool(n_workers)
+    def __init__(
+        self, n_workers: int | None = None, *, chunks_per_worker: int = 1
+    ) -> None:
+        self._pool = SharedArrayPool(
+            n_workers, chunks_per_worker=chunks_per_worker
+        )
         self.n_workers = self._pool.n_workers
+        self.chunks_per_worker = self._pool.chunks_per_worker
 
     def map_chunks(
         self,
@@ -131,8 +136,28 @@ class _PoolBackedBackend:
         tr.gauge(f"backend.{self.name}.workers").set(self.n_workers)
         return rep
 
+    def rechunked(self, factor: int = 2) -> "_PoolBackedBackend":
+        """A new backend of the same kind with ``factor``× the chunk
+        count (i.e. chunk size divided by ``factor``).
+
+        The run guardian's "halve-chunks" degradation rung uses this to
+        shrink the unit of retried/validated work without changing the
+        degree of parallelism.
+        """
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        return self._with_chunks(self.chunks_per_worker * factor)
+
+    def _with_chunks(self, chunks_per_worker: int) -> "_PoolBackedBackend":
+        return type(self)(
+            self.n_workers, chunks_per_worker=chunks_per_worker
+        )
+
     def __repr__(self) -> str:
-        return f"{type(self).__name__}(n_workers={self.n_workers})"
+        return (
+            f"{type(self).__name__}(n_workers={self.n_workers}, "
+            f"chunks_per_worker={self.chunks_per_worker})"
+        )
 
 
 class SerialBackend(_PoolBackedBackend):
@@ -140,11 +165,16 @@ class SerialBackend(_PoolBackedBackend):
 
     name = "serial"
 
-    def __init__(self, n_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        *,
+        chunks_per_worker: int = 1,
+    ) -> None:
         # A serial backend is serial regardless of the requested width;
         # accepting (and ignoring) n_workers keeps one factory signature
         # across all backends.
-        super().__init__(1)
+        super().__init__(1, chunks_per_worker=chunks_per_worker)
 
 
 class ProcessPoolBackend(_PoolBackedBackend):
@@ -165,9 +195,17 @@ class ProcessPoolBackend(_PoolBackedBackend):
         n_workers: int | None = None,
         *,
         policy: RetryPolicy | None = None,
+        chunks_per_worker: int = 1,
     ) -> None:
-        super().__init__(n_workers)
+        super().__init__(n_workers, chunks_per_worker=chunks_per_worker)
         self.policy = policy
+
+    def _with_chunks(self, chunks_per_worker: int) -> "ProcessPoolBackend":
+        return ProcessPoolBackend(
+            self.n_workers,
+            policy=self.policy,
+            chunks_per_worker=chunks_per_worker,
+        )
 
     def map_chunks(
         self,

@@ -234,12 +234,20 @@ class SharedArrayPool:
     worker processes live only for the duration of one chunk attempt).
     """
 
-    def __init__(self, n_workers: int | None = None) -> None:
+    def __init__(
+        self, n_workers: int | None = None, *, chunks_per_worker: int = 1
+    ) -> None:
         if n_workers is None:
             n_workers = multiprocessing.cpu_count()
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
+        if chunks_per_worker < 1:
+            raise ValueError("chunks_per_worker must be at least 1")
         self.n_workers = n_workers
+        # Oversplitting factor: >1 shrinks the unit of retried/validated
+        # work (the guardian's "halve-chunks" degradation rung) without
+        # changing the degree of parallelism.
+        self.chunks_per_worker = chunks_per_worker
         try:
             self._ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
@@ -309,7 +317,9 @@ class SharedArrayPool:
         rep = report if report is not None else RecoveryReport()
         tasks = [
             (shm_name, lo, hi)
-            for lo, hi in chunk_ranges(n_items, self.n_workers)
+            for lo, hi in chunk_ranges(
+                n_items, self.n_workers * self.chunks_per_worker
+            )
             if hi > lo
         ]
         # Chunk functions executed in *this* process (inline mode, or the
@@ -338,6 +348,8 @@ class SharedArrayPool:
                         if validate is not None and not validate(
                             task[1], task[2]
                         ):
+                            rep.chunk_failures += 1
+                            tr.counter("resilience.chunk_failures").inc()
                             raise ChunkFailureError(
                                 f"chunk [{task[1]}, {task[2]}) produced "
                                 "invalid output in in-process execution"
@@ -405,6 +417,8 @@ class SharedArrayPool:
                 if validate is not None and not validate(
                     st.task[1], st.task[2]
                 ):
+                    rep.chunk_failures += 1
+                    tr.counter("resilience.chunk_failures").inc()
                     raise ChunkFailureError(
                         f"chunk [{st.task[1]}, {st.task[2]}) still invalid "
                         f"after in-process fallback (last failure: {reason})"

@@ -14,7 +14,11 @@ survive the failures that loop meets in production:
   validated level checkpoints and the resume path
   (:class:`CheckpointManager`);
 * :mod:`repro.resilience.faults` — deterministic, seeded fault injectors
-  (:class:`FaultPlan`) driving the chaos test suite.
+  (:class:`FaultPlan`) driving the chaos test suite;
+* :mod:`repro.resilience.invariants` — the :class:`InvariantAuditor`
+  re-deriving the paper's conservation laws after every contraction;
+* :mod:`repro.resilience.guardian` — :class:`RunGuardian`, the run-level
+  watchdog + adaptive degradation ladder supervising the whole pipeline.
 
 See ``docs/RESILIENCE.md`` for the failure-mode catalogue and policies.
 """
@@ -25,6 +29,17 @@ from repro.resilience.checkpoint import (
     CheckpointState,
 )
 from repro.resilience.faults import FaultPlan, FaultSpec, truncate_file
+from repro.resilience.guardian import (
+    NULL_GUARDIAN,
+    NullGuardian,
+    RunGuardian,
+    as_guardian,
+)
+from repro.resilience.invariants import (
+    AUDIT_MODES,
+    InvariantAuditor,
+    lower_audit_mode,
+)
 from repro.resilience.report import RecoveryReport
 from repro.resilience.retry import RetryPolicy
 
@@ -37,4 +52,11 @@ __all__ = [
     "CheckpointManager",
     "CheckpointState",
     "CHECKPOINT_SCHEMA_VERSION",
+    "AUDIT_MODES",
+    "InvariantAuditor",
+    "lower_audit_mode",
+    "RunGuardian",
+    "NullGuardian",
+    "NULL_GUARDIAN",
+    "as_guardian",
 ]

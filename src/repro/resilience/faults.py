@@ -12,12 +12,26 @@ production failure it models:
 * ``corrupt`` — the worker computes its chunk, then overwrites the output
   slice with NaN (silent data corruption).
 
+A plan can additionally target whole *pipeline phases* — keyed by
+``(phase, level)`` and consulted by the run guardian
+(:class:`repro.resilience.RunGuardian`) as the phase starts — so the
+chaos suite can exercise the run-level watchdog and degradation ladder
+deterministically:
+
+* ``stall`` — an injected sleep inside a phase kernel (a wedged scoring
+  or matching loop), tripping the phase-deadline watchdog;
+* ``memory_pressure`` — a transient large allocation held for the
+  duration of the phase (a memory blow-up), tripping the memory-budget
+  guard.
+
 Plans are static data built ahead of the run, so injection is fully
 deterministic: :meth:`FaultPlan.seeded` derives every decision from
 ``(seed, chunk_index, attempt)`` alone, independent of scheduling order.
-Faults fire only in worker processes — the parent's in-process degraded
-path executes the same chunk function directly, faults bypassed, which is
-what makes "kill every worker attempt" a recoverable scenario.
+Chunk faults fire only in worker processes — the parent's in-process
+degraded path executes the same chunk function directly, faults
+bypassed, which is what makes "kill every worker attempt" a recoverable
+scenario.  Phase faults fire in the driver process, before the phase's
+kernel runs, and never touch its output.
 
 :func:`truncate_file` is the checkpoint-side injector: it chops a file
 mid-byte to model a torn write, which resume must detect and skip.
@@ -33,43 +47,80 @@ import numpy as np
 
 __all__ = ["FaultSpec", "FaultPlan", "truncate_file"]
 
-FaultKind = Literal["kill", "delay", "corrupt"]
+FaultKind = Literal["kill", "delay", "corrupt", "stall", "memory_pressure"]
+
+#: Kinds injected inside forked worker processes (chunk faults).
+CHUNK_FAULT_KINDS = ("kill", "delay", "corrupt")
+#: Kinds injected in the driver process at phase entry (phase faults).
+PHASE_FAULT_KINDS = ("stall", "memory_pressure")
 
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """One injected fault: what to do to a specific chunk attempt."""
+    """One injected fault: what to do to a chunk attempt or a phase.
+
+    ``delay_s`` parameterizes ``delay`` and ``stall``; ``alloc_mb`` the
+    size of the transient ``memory_pressure`` allocation; ``exit_code``
+    the ``kill`` exit status.
+    """
 
     kind: FaultKind
     delay_s: float = 0.0
     exit_code: int = 17
+    alloc_mb: float = 64.0
 
     def __post_init__(self) -> None:
-        if self.kind not in ("kill", "delay", "corrupt"):
+        if self.kind not in CHUNK_FAULT_KINDS + PHASE_FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.delay_s < 0:
             raise ValueError("delay_s must be non-negative")
+        if self.alloc_mb <= 0:
+            raise ValueError("alloc_mb must be positive")
 
 
 @dataclass
 class FaultPlan:
-    """A deterministic schedule of faults keyed by (chunk_index, attempt)."""
+    """A deterministic schedule of faults.
+
+    ``faults`` keys chunk faults by ``(chunk_index, attempt)``;
+    ``phase_faults`` keys phase faults by ``(phase_name, level)``.
+    """
 
     faults: dict[tuple[int, int], FaultSpec] = field(default_factory=dict)
+    phase_faults: dict[tuple[str, int], FaultSpec] = field(
+        default_factory=dict
+    )
 
     def decide(self, chunk_index: int, attempt: int) -> FaultSpec | None:
         """The fault to inject for this chunk attempt, if any."""
         return self.faults.get((chunk_index, attempt))
 
+    def decide_phase(self, phase: str, level: int) -> FaultSpec | None:
+        """The fault to inject at this phase of this level, if any."""
+        return self.phase_faults.get((phase, level))
+
     @property
     def n_faults(self) -> int:
-        return len(self.faults)
+        return len(self.faults) + len(self.phase_faults)
 
     def add(
         self, chunk_index: int, attempt: int, spec: FaultSpec
     ) -> "FaultPlan":
-        """Schedule one fault; chainable."""
+        """Schedule one chunk fault; chainable."""
+        if spec.kind not in CHUNK_FAULT_KINDS:
+            raise ValueError(
+                f"{spec.kind!r} is a phase fault; use add_phase()"
+            )
         self.faults[(chunk_index, attempt)] = spec
+        return self
+
+    def add_phase(self, phase: str, level: int, spec: FaultSpec) -> "FaultPlan":
+        """Schedule one phase fault; chainable."""
+        if spec.kind not in PHASE_FAULT_KINDS:
+            raise ValueError(
+                f"{spec.kind!r} is a chunk fault; use add()"
+            )
+        self.phase_faults[(phase, level)] = spec
         return self
 
     # -------------------------------------------------------------- builders
@@ -111,6 +162,36 @@ class FaultPlan:
     def corrupt_first_attempt(cls, chunks: Iterable[int]) -> "FaultPlan":
         """NaN-corrupt the first attempt's output of each listed chunk."""
         return cls({(c, 0): FaultSpec("corrupt") for c in chunks})
+
+    @classmethod
+    def stall_phase(
+        cls, phase: str, levels: Iterable[int], *, delay_s: float
+    ) -> "FaultPlan":
+        """Inject a sleep into ``phase`` at each listed level.
+
+        Exercises the run guardian's phase-deadline watchdog: with a
+        deadline shorter than ``delay_s`` the stalled phase breaches on
+        completion and the degradation ladder takes a rung.
+        """
+        return cls(
+            phase_faults={
+                (phase, lv): FaultSpec("stall", delay_s=delay_s)
+                for lv in levels
+            }
+        )
+
+    @classmethod
+    def pressure_phase(
+        cls, phase: str, levels: Iterable[int], *, alloc_mb: float = 64.0
+    ) -> "FaultPlan":
+        """Hold a transient ``alloc_mb``-MiB allocation through ``phase``
+        at each listed level (exercises the memory-budget guard)."""
+        return cls(
+            phase_faults={
+                (phase, lv): FaultSpec("memory_pressure", alloc_mb=alloc_mb)
+                for lv in levels
+            }
+        )
 
     @classmethod
     def seeded(

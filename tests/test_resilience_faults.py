@@ -81,3 +81,42 @@ class TestTruncateFile:
         path.write_bytes(b"x")
         with pytest.raises(ValueError):
             truncate_file(path, keep_fraction=1.0)
+
+
+class TestPhaseFaults:
+    def test_stall_builder_schedules_named_levels(self):
+        plan = FaultPlan.stall_phase("score", [0, 2], delay_s=0.25)
+        assert plan.decide_phase("score", 0).kind == "stall"
+        assert plan.decide_phase("score", 0).delay_s == 0.25
+        assert plan.decide_phase("score", 2).kind == "stall"
+        assert plan.decide_phase("score", 1) is None
+        assert plan.decide_phase("match", 0) is None
+        assert plan.n_faults == 2
+
+    def test_pressure_builder_carries_allocation(self):
+        plan = FaultPlan.pressure_phase("contract", [1], alloc_mb=32.0)
+        spec = plan.decide_phase("contract", 1)
+        assert spec.kind == "memory_pressure"
+        assert spec.alloc_mb == 32.0
+
+    def test_phase_and_chunk_plans_compose(self):
+        plan = FaultPlan.kill_first_attempt([0]).add_phase(
+            "score", 0, FaultSpec("stall", delay_s=0.1)
+        )
+        assert plan.decide(0, 0).kind == "kill"
+        assert plan.decide_phase("score", 0).kind == "stall"
+        assert plan.n_faults == 2
+
+    def test_kind_segregation_enforced(self):
+        # phase injectors only into the phase table, chunk ones only
+        # into the chunk table
+        with pytest.raises(ValueError):
+            FaultPlan().add_phase("score", 0, FaultSpec("corrupt"))
+        with pytest.raises(ValueError):
+            FaultPlan().add(0, 0, FaultSpec("memory_pressure"))
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("memory_pressure", alloc_mb=0.0)
+        with pytest.raises(ValueError):
+            FaultSpec("stall", delay_s=-0.5)
