@@ -82,7 +82,11 @@ class Repetition:
     platform cannot report it); ``recovery`` is the run's
     :meth:`~repro.resilience.RecoveryReport.as_dict` dump when any
     recovery or guardian action fired (``None`` for clean runs), so
-    degraded benchmark numbers are never mistaken for healthy ones.
+    degraded benchmark numbers are never mistaken for healthy ones;
+    ``attribution`` is the :func:`~repro.obs.attribution.attribute_run`
+    block (hotspots, worker imbalance, serial fraction, Amdahl ceiling)
+    when the repetition was traced (``None`` otherwise), so the ledger
+    records not just *how fast* but *why that fast*.
     """
 
     total_s: float
@@ -93,6 +97,7 @@ class Repetition:
     n_communities: int = 0
     terminated_by: str = ""
     recovery: dict | None = None
+    attribution: dict | None = None
 
     def final_quality(self) -> dict | None:
         """The last level's quality sample, if a timeline was recorded."""
@@ -159,6 +164,7 @@ class RunRecord:
                     "n_communities": r.n_communities,
                     "terminated_by": r.terminated_by,
                     "recovery": r.recovery,
+                    "attribution": r.attribution,
                 }
                 for r in self.repetitions
             ],
@@ -184,6 +190,7 @@ class RunRecord:
                     n_communities=int(r.get("n_communities", 0)),
                     terminated_by=r.get("terminated_by", ""),
                     recovery=r.get("recovery"),
+                    attribution=r.get("attribution"),
                 )
                 for r in data.get("repetitions", [])
             ]
@@ -205,11 +212,19 @@ def repetition_from_run(run, total_s: float) -> Repetition:
 
     ``total_s`` is the externally measured end-to-end wall time of the
     repetition; phases come from the run's spans
-    (:meth:`~repro.bench.harness.TracedRun.phase_breakdown`) and the
-    quality block from its timeline, when either was attached.
+    (:meth:`~repro.bench.harness.TracedRun.phase_breakdown`), the
+    quality block from its timeline, and the attribution block
+    (:func:`repro.obs.attribution.attribute_run`) from its tracer,
+    when each was attached.
     """
     timeline = getattr(run, "timeline", None)
     recovery = getattr(run.result, "recovery", None)
+    tracer = getattr(run, "tracer", None)
+    attribution = None
+    if tracer is not None and getattr(tracer, "enabled", False):
+        from repro.obs.attribution import attribute_run
+
+        attribution = attribute_run(list(tracer.spans))
     return Repetition(
         total_s=float(total_s),
         phases=run.phase_breakdown() or {},
@@ -227,6 +242,7 @@ def repetition_from_run(run, total_s: float) -> Repetition:
             if recovery is not None and recovery.any_recovery()
             else None
         ),
+        attribution=attribution,
     )
 
 
@@ -536,6 +552,36 @@ def render_ledger(record: RunRecord) -> str:
         blocks.append(
             f"peak RSS: {rep.peak_rss_bytes / (1024 * 1024):.1f} MiB"
         )
+    if rep is not None and rep.attribution:
+        a = rep.attribution
+        w = a.get("workers") or {}
+        am = a.get("amdahl") or {}
+        hot = a.get("hotspots") or []
+        n_bad = len((a.get("consistency") or {}).get("violations") or [])
+        lines = ["attribution (repetition 0):"]
+        if hot:
+            lines.append(
+                "  hotspots: "
+                + ", ".join(
+                    f"{h['name']} {h['self_s']:.4f}s" for h in hot[:3]
+                )
+            )
+        lines.append(
+            f"  workers: {w.get('n_lanes', 0)} lane(s), "
+            f"imbalance {w.get('imbalance', 0.0):.2f}, "
+            f"queue wait {w.get('queue_wait_s', 0.0):.4f}s"
+        )
+        lines.append(
+            f"  serial fraction "
+            f"{100.0 * am.get('serial_fraction', 1.0):.1f}% -> "
+            f"Amdahl ceiling {am.get('ceiling_at_n', 1.0):.2f}x "
+            f"at N={am.get('n_workers', 1)}"
+        )
+        lines.append(
+            "  consistency: "
+            + ("OK" if n_bad == 0 else f"{n_bad} violation(s)")
+        )
+        blocks.append("\n".join(lines))
     degraded = [
         (idx, r.recovery)
         for idx, r in enumerate(record.repetitions)

@@ -49,8 +49,15 @@ def run_smoke(
     n_workers: int = 1,
     directory: str = ".",
     audit: str = "sample",
+    trace_out: str | None = None,
+    perfetto_out: str | None = None,
 ):
-    """Run the smoke benchmark and write its ledger; returns (record, path)."""
+    """Run the smoke benchmark and write its ledger; returns (record, path).
+
+    ``trace_out``/``perfetto_out`` export the *last* repetition's trace
+    as JSONL / Chrome trace-event JSON — the inputs ``repro report``
+    and Perfetto consume.
+    """
     if reps < 1:
         raise ValueError("reps must be at least 1")
     graph = planted_partition_graph(n_vertices, seed=seed)
@@ -98,6 +105,15 @@ def run_smoke(
         )
         total_s = time.perf_counter() - t0
         record.repetitions.append(repetition_from_run(run, total_s))
+    meta = {"command": "bench.smoke", "name": name, **record.graph}
+    if trace_out:
+        from repro.obs import write_trace
+
+        write_trace(tracer, trace_out, meta=meta)
+    if perfetto_out:
+        from repro.obs.perfetto import write_perfetto
+
+        write_perfetto(list(tracer.spans), perfetto_out, meta=meta)
     path = write_ledger(record, directory=directory)
     return record, path
 
@@ -130,6 +146,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--out-dir", default=".", help="directory for the ledger file"
     )
     parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the last repetition's JSONL trace (repro report input)",
+    )
+    parser.add_argument(
+        "--perfetto-out",
+        metavar="PATH",
+        default=None,
+        help="write the last repetition's Chrome trace-event timeline",
+    )
+    parser.add_argument(
         "--audit",
         default="sample",
         choices=AUDIT_MODES,
@@ -149,6 +177,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         n_workers=args.workers,
         directory=args.out_dir,
         audit=args.audit,
+        trace_out=args.trace_out,
+        perfetto_out=args.perfetto_out,
     )
     print(render_ledger(record))
     print(f"\nledger written to {path}", file=sys.stderr)

@@ -6,6 +6,8 @@ Subcommands::
     python -m repro generate  # write an R-MAT / planted / webgraph file
     python -m repro info      # print size/degree statistics of a graph
     python -m repro bench     # regenerate a paper exhibit (table1..figure3)
+    python -m repro report    # render a run trace (+ ledger) to Markdown/HTML
+    python -m repro trend     # metric trajectory across BENCH_*.json ledgers
 
 Every command reads/writes the formats in :mod:`repro.graph.io`
 (``edgelist``, ``metis``, ``npz``, auto-detected from the extension).
@@ -52,12 +54,13 @@ __all__ = ["main"]
 
 
 def _make_tracer(args: argparse.Namespace) -> Tracer | None:
-    """A real tracer when ``--trace-out``/``--profile``/``--metrics-out``
-    ask for one."""
+    """A real tracer when ``--trace-out``/``--profile``/``--metrics-out``/
+    ``--perfetto-out`` ask for one."""
     if (
         getattr(args, "trace_out", None)
         or getattr(args, "profile", False)
         or getattr(args, "metrics_out", None)
+        or getattr(args, "perfetto_out", None)
     ):
         return Tracer()
     return None
@@ -73,6 +76,15 @@ def _emit_trace(
         n = write_trace(tracer, args.trace_out, meta=meta)
         print(
             f"trace: {n} spans written to {args.trace_out}", file=sys.stderr
+        )
+    if getattr(args, "perfetto_out", None):
+        from repro.obs.perfetto import write_perfetto
+
+        n = write_perfetto(list(tracer.spans), args.perfetto_out, meta=meta)
+        print(
+            f"perfetto: {n} events written to {args.perfetto_out} "
+            "(open in ui.perfetto.dev)",
+            file=sys.stderr,
         )
     if getattr(args, "metrics_out", None):
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
@@ -421,6 +433,116 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 1 if cmp.regressed else 0
 
 
+# ----------------------------------------------------------------- report
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.obs import read_trace
+    from repro.obs.report import markdown_to_html, render_report, write_report
+
+    try:
+        trace = read_trace(args.trace)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    ledger = None
+    if args.ledger:
+        from repro.bench.ledger import read_ledger
+
+        try:
+            ledger = read_ledger(args.ledger)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    title = args.title or f"repro run report — {args.trace}"
+    if args.output == "-":
+        md = render_report(trace, ledger=ledger, title=title)
+        print(markdown_to_html(md, title=title) if args.html else md)
+    else:
+        write_report(
+            trace,
+            args.output,
+            ledger=ledger,
+            title=title,
+            as_html=args.html,
+        )
+        print(f"report: written to {args.output}", file=sys.stderr)
+    return 0
+
+
+# ------------------------------------------------------------------ trend
+def _cmd_trend(args: argparse.Namespace) -> int:
+    from repro.bench.ascii_plot import ascii_xy_plot
+    from repro.bench.ledger import compare_ledgers, read_ledger
+    from repro.bench.reporting import format_table
+    from repro.errors import ReproError
+
+    try:
+        ledgers = [(path, read_ledger(path)) for path in args.ledgers]
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    ledgers.sort(key=lambda pair: pair[1].created_unix)
+
+    def metric_of(record) -> float | None:
+        if args.metric == "end_to_end":
+            return record.min_total_s() if record.repetitions else None
+        return record.min_phase_s(args.metric)
+
+    rows = []
+    points = []
+    for idx, (path, record) in enumerate(ledgers):
+        value = metric_of(record)
+        q = record.best_final_modularity()
+        rows.append(
+            [
+                str(idx),
+                path,
+                "-" if value is None else f"{value:.4f}",
+                "-" if q is None else f"{q:.4f}",
+            ]
+        )
+        if value is not None and value > 0:
+            points.append((float(idx + 1), value))
+    print(
+        format_table(
+            ["run", "ledger", f"{args.metric} s (min)", "modularity"],
+            rows,
+            title=f"benchmark trend — {args.metric} over "
+            f"{len(ledgers)} ledger(s), oldest first",
+        )
+    )
+    if len(points) >= 2:
+        print()
+        print(
+            ascii_xy_plot(
+                {args.metric: points},
+                title=f"{args.metric} trajectory (min-of-N seconds)",
+                xlabel="run (1 = oldest)",
+                ylabel="seconds",
+            )
+        )
+
+    regressions = []
+    for (_, older), (new_path, newer) in zip(ledgers, ledgers[1:]):
+        cmp = compare_ledgers(
+            older,
+            newer,
+            tolerance=args.tolerance,
+            noise_floor_s=args.noise_floor,
+            quality_tolerance=args.quality_tolerance,
+        )
+        for r in cmp.regressions():
+            regressions.append((new_path, r.metric, r.ratio))
+    if regressions:
+        print()
+        print("regressions between consecutive runs:")
+        for path, metric, ratio in regressions:
+            print(f"  {path}: {metric} {100.0 * ratio:+.1f}%")
+        return 1 if args.strict else 0
+    print("\nno regression between consecutive runs")
+    return 0
+
+
 # ----------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -535,6 +657,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write run metrics in Prometheus text exposition format",
     )
+    p.add_argument(
+        "--perfetto-out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON timeline "
+        "(open in ui.perfetto.dev or chrome://tracing)",
+    )
     p.set_defaults(func=_cmd_detect)
 
     p = sub.add_parser("generate", help="generate a synthetic graph file")
@@ -585,6 +714,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write run metrics in Prometheus text exposition format",
     )
+    p.add_argument(
+        "--perfetto-out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON timeline of the exhibit's runs",
+    )
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
@@ -617,6 +752,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="absolute final-modularity drop allowed (default 0.02)",
     )
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "report",
+        help="render a run trace (+ optional ledger) into a repro report",
+        description="Render a JSONL run trace — plus an optional benchmark "
+        "ledger — into a self-contained Markdown (or HTML) report: phase "
+        "breakdown, per-level timeline with quality curve, hotspot "
+        "ranking, worker-lane/Amdahl analysis, and the trace consistency "
+        "verdict (see docs/OBSERVABILITY.md).",
+    )
+    p.add_argument("trace", help="JSONL trace from --trace-out")
+    p.add_argument(
+        "--ledger",
+        metavar="PATH",
+        default=None,
+        help="BENCH_*.json ledger to fold in (quality curve, repetitions)",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        default="-",
+        help="report file (default stdout)",
+    )
+    p.add_argument(
+        "--html",
+        action="store_true",
+        help="emit a self-contained HTML page instead of Markdown",
+    )
+    p.add_argument(
+        "--title", default=None, help="report title (default: trace path)"
+    )
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "trend",
+        help="plot a metric across benchmark ledgers; flag regressions",
+        description="Order BENCH_*.json ledgers by creation time, tabulate "
+        "and plot one metric's min-of-N trajectory, and flag regressions "
+        "between consecutive runs using the same tolerance logic as "
+        "`repro compare`.  Exits 1 only with --strict.",
+    )
+    p.add_argument(
+        "ledgers", nargs="+", help="two or more BENCH_*.json ledgers"
+    )
+    p.add_argument(
+        "--metric",
+        default="end_to_end",
+        choices=["score", "match", "contract", "total", "end_to_end"],
+        help="which min-of-N metric to plot (default end_to_end)",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="relative slowdown allowed between consecutive runs",
+    )
+    p.add_argument(
+        "--noise-floor",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="absolute slowdown below which a delta is noise",
+    )
+    p.add_argument(
+        "--quality-tolerance",
+        type=float,
+        default=0.02,
+        help="absolute final-modularity drop allowed",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any consecutive pair regresses",
+    )
+    p.set_defaults(func=_cmd_trend)
     return parser
 
 

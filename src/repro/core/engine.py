@@ -434,6 +434,7 @@ class AgglomerationEngine:
             matcher=self.match_kernel.name,
             contractor=self.contract_kernel.name,
             backend=ctx.backend.name,
+            n_workers=ctx.backend.n_workers,
             seed=ctx.seed,
         ) as run_span:
             if resume:

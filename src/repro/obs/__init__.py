@@ -11,7 +11,15 @@ Four layers:
   that the benchmark ledger embeds;
 * :mod:`repro.obs.sinks` — schema-versioned JSONL export
   (:func:`write_trace` / :func:`read_trace`) and the per-level console
-  profile table (:func:`render_profile`).
+  profile table (:func:`render_profile`);
+* :mod:`repro.obs.attribution` — the performance-attribution analyzer:
+  self-times, hotspot ranking, worker-lane statistics, load imbalance,
+  serial fraction / Amdahl ceiling, and the trace consistency
+  invariants (:func:`attribute_run`);
+* :mod:`repro.obs.perfetto` — Chrome trace-event export
+  (:func:`write_perfetto`) openable in ``ui.perfetto.dev``;
+* :mod:`repro.obs.report` — the self-contained Markdown/HTML run
+  report (:func:`render_report` / :func:`write_report`).
 
 Distinct from :mod:`repro.platform` tracing: the platform layer records
 *simulated* work quantities for the paper's machine cost models; this
@@ -19,6 +27,16 @@ package measures what the current machine actually did.  See
 ``docs/OBSERVABILITY.md``.
 """
 
+from repro.obs.attribution import (
+    amdahl_ceiling,
+    attribute_run,
+    consistency_report,
+    hotspots,
+    load_imbalance,
+    self_times,
+    serial_fraction,
+    worker_stats,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -26,6 +44,8 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.obs.perfetto import to_chrome_trace, write_perfetto
+from repro.obs.report import markdown_to_html, render_report, write_report
 from repro.obs.sinks import (
     TraceData,
     phase_totals,
@@ -69,4 +89,17 @@ __all__ = [
     "read_trace",
     "phase_totals",
     "render_profile",
+    "attribute_run",
+    "self_times",
+    "hotspots",
+    "worker_stats",
+    "load_imbalance",
+    "serial_fraction",
+    "amdahl_ceiling",
+    "consistency_report",
+    "to_chrome_trace",
+    "write_perfetto",
+    "render_report",
+    "write_report",
+    "markdown_to_html",
 ]

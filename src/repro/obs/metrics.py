@@ -221,22 +221,61 @@ class MetricsRegistry:
         The inverse used to ship metrics across process boundaries:
         workers send snapshots (plain dicts pickle cheaply), the parent
         rebuilds and :meth:`merge`-s them.
+
+        The snapshot is validated on ingest: a histogram whose
+        ``counts`` length does not match its ``edges`` (the signature of
+        a schema drift between worker and parent builds), a negative
+        bucket count, a bucket/total mismatch, or a NaN gauge value all
+        raise :class:`ValueError` naming the offending metric — the
+        alternative is samples silently landing in the wrong buckets
+        after a parent-side merge.
         """
+        if not isinstance(snapshot, dict):
+            raise ValueError(
+                f"metrics snapshot must be a dict, got {type(snapshot).__name__}"
+            )
         reg = cls()
         for name, value in snapshot.get("counters", {}).items():
-            reg.counter(name).inc(value)
+            if int(value) < 0:
+                raise ValueError(
+                    f"counter {name!r}: snapshot value {value} is negative"
+                )
+            reg.counter(name).inc(int(value))
         for name, g in snapshot.get("gauges", {}).items():
+            value = float(g["value"])
+            if math.isnan(value):
+                raise ValueError(
+                    f"gauge {name!r}: snapshot value is NaN"
+                )
             gauge = reg.gauge(name)
-            gauge.value = float(g["value"])
+            gauge.value = value
             gauge.min = float(g["min"]) if g["min"] is not None else float("inf")
             gauge.max = (
                 float(g["max"]) if g["max"] is not None else float("-inf")
             )
             gauge.n_sets = int(g["n_sets"])
         for name, h in snapshot.get("histograms", {}).items():
-            hist = reg.histogram(name, h["edges"])
-            hist.counts = [int(c) for c in h["counts"]]
-            hist.total = int(h["total"])
+            edges = list(h["edges"])
+            counts = [int(c) for c in h["counts"]]
+            if len(counts) != len(edges) + 1:
+                raise ValueError(
+                    f"histogram {name!r}: snapshot has {len(counts)} counts "
+                    f"for {len(edges)} edges (expected {len(edges) + 1}; "
+                    "bucket schema mismatch between worker and parent?)"
+                )
+            if any(c < 0 for c in counts):
+                raise ValueError(
+                    f"histogram {name!r}: snapshot has negative bucket counts"
+                )
+            total = int(h["total"])
+            if total != sum(counts):
+                raise ValueError(
+                    f"histogram {name!r}: snapshot total {total} does not "
+                    f"match bucket sum {sum(counts)}"
+                )
+            hist = reg.histogram(name, edges)
+            hist.counts = counts
+            hist.total = total
             hist.sum = float(h["sum"])
         return reg
 

@@ -1,0 +1,149 @@
+"""Chrome trace-event (Perfetto) export for run traces.
+
+Converts a span list into the JSON trace-event format that
+``ui.perfetto.dev`` and ``chrome://tracing`` open directly, so a run's
+per-level score/match/contract pipeline and the worker flight-recorder
+lanes become a zoomable timeline instead of a table.
+
+The mapping:
+
+* every span becomes one complete event (``"ph": "X"``) with ``ts`` and
+  ``dur`` in microseconds, relative to the earliest span start in the
+  trace (Perfetto only needs a common origin, not absolute time);
+* ``pid``/``tid`` place each span on its lane — worker flight records
+  carry their worker's real OS pid, so each worker renders as its own
+  process track under the parent;
+* metadata events (``"ph": "M"``) name the tracks: the parent process
+  becomes ``repro (parent)``, each worker ``worker <pid>``;
+* span level, item count, and attributes ride along in ``args``.
+
+No external dependency is involved: the format is plain JSON with a
+``traceEvents`` array (`Trace Event Format`_, the stable subset
+Perfetto ingests).
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Sequence
+
+from repro.obs.trace import Span
+
+__all__ = ["to_chrome_trace", "write_perfetto"]
+
+
+def _lane(span: Span, parent_pid: int) -> tuple[int, int]:
+    """(pid, tid) track placement for a span."""
+    pid = span.pid if span.pid is not None else parent_pid
+    tid = span.tid if span.tid is not None else pid
+    return pid, tid
+
+
+def to_chrome_trace(
+    spans: Sequence[Span], *, meta: dict | None = None
+) -> dict:
+    """Build the Chrome trace-event JSON object for a span list.
+
+    Returns ``{"traceEvents": [...], "displayTimeUnit": "ms",
+    "otherData": {...}}``.  Works on v1 traces too (spans without
+    pid/tid land on a single synthetic lane).
+    """
+    spans = list(spans)
+    events: list[dict] = []
+    if spans:
+        origin_ns = min(s.start_ns for s in spans)
+        parent_pid = next(
+            (s.pid for s in spans if s.pid is not None and s.name != "worker_chunk"),
+            None,
+        )
+        if parent_pid is None:
+            parent_pid = os.getpid()
+    else:
+        origin_ns = 0
+        parent_pid = os.getpid()
+
+    lanes: set[tuple[int, int]] = set()
+    for s in spans:
+        pid, tid = _lane(s, parent_pid)
+        lanes.add((pid, tid))
+        args: dict = {"span_id": s.span_id}
+        if s.parent_id is not None:
+            args["parent_id"] = s.parent_id
+        if s.level is not None:
+            args["level"] = s.level
+        if s.items:
+            args["items"] = s.items
+        args.update(s.attrs)
+        events.append(
+            {
+                "name": s.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (s.start_ns - origin_ns) / 1e3,
+                "dur": s.duration_ns / 1e3,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+
+    for pid in sorted({p for p, _ in lanes}):
+        name = "repro (parent)" if pid == parent_pid else f"worker {pid}"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": name},
+            }
+        )
+    for pid, tid in sorted(lanes):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    "name": "main" if pid == parent_pid else f"worker {pid}"
+                },
+            }
+        )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(meta or {}),
+    }
+
+
+def write_perfetto(
+    spans: Sequence[Span],
+    path: str | os.PathLike,
+    *,
+    meta: dict | None = None,
+) -> int:
+    """Write a Chrome trace-event JSON file; returns the event count.
+
+    Written via a temporary file and ``os.replace`` like the other
+    artifact writers, so a crash mid-export never leaves a truncated
+    file under the final name.
+    """
+    doc = to_chrome_trace(spans, meta=meta)
+    final = os.fspath(path)
+    tmp = f"{final}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return len(doc["traceEvents"])

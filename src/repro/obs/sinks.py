@@ -38,6 +38,10 @@ __all__ = [
 
 _SCHEMA_NAME = "repro-run-trace"
 
+#: Schema versions :func:`read_trace` can load.  v1 lacked per-span
+#: ``pid``/``tid``/``epoch_ns``; those default to ``None``/0 on import.
+_READABLE_VERSIONS = (1, SCHEMA_VERSION)
+
 #: The pipeline phases of one agglomeration level, in execution order.
 PHASES = ("score", "match", "contract")
 
@@ -53,6 +57,9 @@ def _span_event(span: Span) -> dict:
         "end_ns": span.end_ns,
         "duration_s": span.duration_s,
         "items": span.items,
+        "pid": span.pid,
+        "tid": span.tid,
+        "epoch_ns": span.epoch_ns,
         "attrs": span.attrs,
     }
 
@@ -164,7 +171,7 @@ def read_trace(
         or header.get("schema") != _SCHEMA_NAME
     ):
         raise ReproError(f"{path}: not a {_SCHEMA_NAME} file")
-    if header.get("version") != SCHEMA_VERSION:
+    if header.get("version") not in _READABLE_VERSIONS:
         raise ReproError(
             f"{path}: unsupported trace version {header.get('version')!r}"
         )
@@ -184,6 +191,9 @@ def read_trace(
                         start_ns=ev["start_ns"],
                         end_ns=ev["end_ns"],
                         items=ev.get("items", 0),
+                        pid=ev.get("pid"),
+                        tid=ev.get("tid"),
+                        epoch_ns=ev.get("epoch_ns", 0),
                         attrs=ev.get("attrs", {}),
                     )
                 )

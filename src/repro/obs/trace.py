@@ -30,6 +30,9 @@ reads.
 
 from __future__ import annotations
 
+import os
+import threading
+import time
 from dataclasses import dataclass, field
 from types import TracebackType
 from typing import Any
@@ -40,7 +43,9 @@ from repro.util.timing import Timer
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "as_tracer"]
 
 #: Version of the span/trace event schema emitted by the sinks.
-SCHEMA_VERSION = 1
+#: v2 added per-span ``pid``/``tid``/``epoch_ns`` so multi-process
+#: traces (worker flight-recorder lanes) align on one clock.
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -64,6 +69,16 @@ class Span:
         process only.
     items:
         Number of work items the region processed (0 when not stamped).
+    pid, tid:
+        OS process id and native thread id that executed the region.
+        Stamped on every span (not just run-level meta) so spans from
+        worker processes land on their own lanes in exported traces.
+    epoch_ns:
+        The owning tracer's monotonic-clock epoch (``time.monotonic_ns``
+        at tracer creation).  CLOCK_MONOTONIC is machine-wide on Linux,
+        so worker-recorded timestamps sharing this epoch align with
+        parent spans; a span whose epoch differs is from another clock
+        domain and must not be compared by raw timestamp.
     attrs:
         Free-form attributes stamped via :meth:`_SpanHandle.set`.
     """
@@ -75,6 +90,9 @@ class Span:
     start_ns: int = 0
     end_ns: int = 0
     items: int = 0
+    pid: int | None = None
+    tid: int | None = None
+    epoch_ns: int = 0
     attrs: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -149,6 +167,10 @@ class Tracer:
     def __init__(self) -> None:
         self.spans: list[Span] = []
         self.metrics = MetricsRegistry()
+        #: Monotonic-clock epoch stamped on every span this tracer
+        #: records; worker lanes recorded against the same machine clock
+        #: share it, which is what lets lanes align in exported traces.
+        self.epoch_ns = time.monotonic_ns()
         self._stack: list[Span] = []
         self._next_id = 0
 
@@ -162,10 +184,55 @@ class Tracer:
             span_id=self._next_id,
             parent_id=parent,
             level=level,
+            pid=os.getpid(),
+            tid=threading.get_native_id(),
+            epoch_ns=self.epoch_ns,
             attrs=dict(attrs) if attrs else {},
         )
         self._next_id += 1
         return _SpanHandle(self, span)
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        start_ns: int,
+        end_ns: int,
+        level: int | None = None,
+        pid: int | None = None,
+        tid: int | None = None,
+        items: int = 0,
+        **attrs: Any,
+    ) -> Span:
+        """Append an externally-measured, already-finished span.
+
+        This is how worker flight records become trace lanes: the worker
+        measured its own chunk window (same machine monotonic clock) and
+        shipped the timestamps home; the parent records them here without
+        re-timing.  The span parents onto the innermost open span, so
+        draining flight records inside the ``pool_run`` region nests the
+        lanes correctly.  ``pid`` defaults to the calling process;
+        ``tid`` defaults to ``pid`` (worker processes are
+        single-threaded), keeping one lane per worker in trace viewers.
+        """
+        parent = self._stack[-1].span_id if self._stack else None
+        pid = os.getpid() if pid is None else int(pid)
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent,
+            level=level,
+            start_ns=int(start_ns),
+            end_ns=int(end_ns),
+            items=int(items),
+            pid=pid,
+            tid=pid if tid is None else int(tid),
+            epoch_ns=self.epoch_ns,
+            attrs=dict(attrs) if attrs else {},
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
 
     @property
     def current(self) -> Span | None:
@@ -221,12 +288,16 @@ class NullTracer:
 
     enabled = False
     spans: tuple = ()
+    epoch_ns = 0
 
     def __init__(self) -> None:
         self.metrics = NullMetricsRegistry()
 
     def span(self, name: str, **_kw: Any) -> _NullSpanHandle:
         return _NULL_HANDLE
+
+    def record_span(self, name: str, **_kw: Any) -> None:
+        return None
 
     @property
     def current(self) -> None:

@@ -119,7 +119,10 @@ class _PoolBackedBackend:
     ) -> RecoveryReport:
         tr = as_tracer(tracer)
         with tr.span(
-            "backend_map", backend=self.name, n_workers=self.n_workers
+            "backend_map",
+            backend=self.name,
+            n_workers=self.n_workers,
+            chunks_per_worker=self.chunks_per_worker,
         ) as sp:
             rep = self._pool.run(
                 fn,

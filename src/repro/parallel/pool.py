@@ -85,6 +85,10 @@ _WORKER_METRICS: MetricsRegistry | NullMetricsRegistry = NullMetricsRegistry()
 #: Power-of-two edges sized for per-chunk item counts (up to 16M edges).
 _CHUNK_ITEM_EDGES: tuple[float, ...] = tuple(float(2**k) for k in range(25))
 
+#: Power-of-two millisecond edges for worker queue-wait (fork + schedule)
+#: latency, 1 ms .. ~32 s.
+_QUEUE_WAIT_MS_EDGES: tuple[float, ...] = tuple(float(2**k) for k in range(16))
+
 
 def worker_metrics() -> MetricsRegistry | NullMetricsRegistry:
     """The metrics registry a pool chunk function should record into.
@@ -178,6 +182,7 @@ def _run_chunk_in_worker(
     attempt: int,
     faults: FaultPlan | None,
     metrics_queue=None,
+    submit_ns: int | None = None,
 ) -> None:
     """Worker-process entry: apply any injected fault, then run the chunk.
 
@@ -189,10 +194,15 @@ def _run_chunk_in_worker(
     :class:`~repro.obs.MetricsRegistry` (the fork's copy of the parent
     registry is invisible to the parent, so recording there would drop
     everything) and its snapshot is shipped back for parent-side
-    merging.  A killed worker never reaches the ``put``, so partial
+    merging, alongside a **flight record**: the worker's pid, the
+    queue wait (monotonic delta from the parent's ``submit_ns`` stamp to
+    worker entry — CLOCK_MONOTONIC is machine-wide on Linux, so the two
+    stamps are comparable), and the self-measured exec window around
+    ``fn``.  A killed worker never reaches the ``put``, so partial
     attempts contribute nothing.
     """
     global _WORKER_METRICS
+    entry_ns = time.monotonic_ns()
     spec = faults.decide(chunk_index, attempt) if faults is not None else None
     if spec is not None:
         if spec.kind == "delay":
@@ -201,7 +211,9 @@ def _run_chunk_in_worker(
             os._exit(spec.exit_code)
     if metrics_queue is not None:
         _WORKER_METRICS = MetricsRegistry()
+    exec_start_ns = time.monotonic_ns()
     fn(task)
+    exec_end_ns = time.monotonic_ns()
     if spec is not None and spec.kind == "corrupt":
         shm_name, lo, hi = task
         shm = shared_memory.SharedMemory(name=shm_name)
@@ -211,7 +223,25 @@ def _run_chunk_in_worker(
         finally:
             shm.close()
     if metrics_queue is not None:
-        metrics_queue.put(_WORKER_METRICS.snapshot())
+        metrics_queue.put(
+            {
+                "metrics": _WORKER_METRICS.snapshot(),
+                "flight": {
+                    "pid": os.getpid(),
+                    "chunk": chunk_index,
+                    "attempt": attempt,
+                    "lo": task[1],
+                    "hi": task[2],
+                    "start_ns": exec_start_ns,
+                    "end_ns": exec_end_ns,
+                    "queue_wait_s": (
+                        (entry_ns - submit_ns) / 1e9
+                        if submit_ns is not None
+                        else None
+                    ),
+                },
+            }
+        )
 
 
 @dataclass
@@ -380,17 +410,39 @@ class SharedArrayPool:
         ]
         # index -> (process, state, deadline, start time); all monotonic.
         running: dict[int, tuple] = {}
-        # Worker-side metric snapshots come home over this queue; only
-        # built when someone is listening (tracer attached).
+        # Worker-side metric snapshots and flight records come home over
+        # this queue; only built when someone is listening (tracer
+        # attached), so the untraced path pays nothing.
         metrics_queue = self._ctx.SimpleQueue() if tr.enabled else None
 
-        def drain_metrics() -> None:
+        def drain_worker_payloads() -> None:
             if metrics_queue is None:
                 return
             while not metrics_queue.empty():
+                payload = metrics_queue.get()
                 tr.metrics.merge(
-                    MetricsRegistry.from_snapshot(metrics_queue.get())
+                    MetricsRegistry.from_snapshot(payload["metrics"])
                 )
+                fl = payload.get("flight")
+                if fl is not None:
+                    # The worker's self-measured exec window becomes a
+                    # per-worker trace lane (pid = worker process).
+                    tr.record_span(
+                        "worker_chunk",
+                        start_ns=fl["start_ns"],
+                        end_ns=fl["end_ns"],
+                        pid=fl["pid"],
+                        items=fl["hi"] - fl["lo"],
+                        lo=fl["lo"],
+                        hi=fl["hi"],
+                        chunk=fl["chunk"],
+                        attempt=fl["attempt"],
+                        queue_wait_s=fl["queue_wait_s"],
+                    )
+                    if fl["queue_wait_s"] is not None:
+                        tr.histogram(
+                            "pool.queue_wait_ms", _QUEUE_WAIT_MS_EDGES
+                        ).observe(fl["queue_wait_s"] * 1e3)
 
         def finish(st: _ChunkState, elapsed: float, *, degraded: bool) -> None:
             with tr.span("pool_chunk") as csp:
@@ -448,6 +500,9 @@ class SharedArrayPool:
                                 st.attempt,
                                 faults,
                                 metrics_queue,
+                                # Submit stamp for the worker's queue-wait
+                                # measurement (same machine-wide clock).
+                                time.monotonic_ns(),
                             ),
                             daemon=True,
                         )
@@ -518,8 +573,9 @@ class SharedArrayPool:
                 proc.join()
                 proc.close()
             # Fold whatever the workers managed to record into the parent
-            # registry (retried attempts count the work they really did).
-            drain_metrics()
+            # registry (retried attempts count the work they really did),
+            # and land their flight records as worker_chunk lanes.
+            drain_worker_payloads()
             if metrics_queue is not None:
                 metrics_queue.close()
 

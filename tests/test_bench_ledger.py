@@ -313,3 +313,74 @@ class TestSmoke:
         assert rep.phases == {}
         assert rep.quality is None
         assert rep.n_levels == run.result.n_levels
+
+
+class TestAttributionInLedger:
+    """Repetition.attribution: computed from the tracer, persisted, rendered."""
+
+    def test_repetition_from_run_with_tracer(self):
+        from repro.bench import run_with_trace
+        from repro.generators import planted_partition_graph
+        from repro.obs import Tracer
+
+        run = run_with_trace(
+            planted_partition_graph(200, seed=1),
+            graph_name="g",
+            tracer=Tracer(),
+        )
+        rep = repetition_from_run(run, 0.5)
+        assert rep.attribution is not None
+        assert rep.attribution["version"] == 1
+        assert set(rep.attribution) >= {
+            "phases", "levels", "hotspots", "workers", "serial", "amdahl",
+            "consistency",
+        }
+        assert rep.attribution["consistency"]["violations"] == []
+
+    def test_attribution_round_trips_through_ledger_io(self, tmp_path):
+        record = make_record()
+        record.repetitions[0].attribution = {
+            "version": 1,
+            "hotspots": [{"name": "match_pass", "self_s": 0.2}],
+        }
+        path = tmp_path / "BENCH_a.json"
+        write_ledger(record, path)
+        loaded = read_ledger(path)
+        assert loaded.repetitions[0].attribution == (
+            record.repetitions[0].attribution
+        )
+        assert loaded.repetitions[1].attribution is None
+
+    def test_render_ledger_shows_attribution_block(self):
+        record = make_record()
+        record.repetitions[0].attribution = {
+            "version": 1,
+            "hotspots": [
+                {"name": "match_pass", "self_s": 0.2, "share": 0.5, "n_spans": 3}
+            ],
+            "workers": {
+                "source": "worker_chunk",
+                "n_lanes": 2,
+                "n_chunks": 4,
+                "busy_s": {"1": 0.1, "2": 0.1},
+                "imbalance": 1.0,
+                "queue_wait_s": 0.01,
+                "exec_s": 0.2,
+            },
+            "serial": {"fraction": 0.25},
+            "amdahl": {
+                "serial_fraction": 0.25,
+                "n_workers": 2,
+                "ceiling_at_n": 1.6,
+                "ceiling_inf": 4.0,
+            },
+            "consistency": {"checked": True, "violations": []},
+        }
+        text = render_ledger(record)
+        assert "attribution (repetition 0):" in text
+        assert "match_pass" in text
+        assert "Amdahl" in text
+
+    def test_render_ledger_without_attribution_omits_block(self):
+        text = render_ledger(make_record())
+        assert "attribution" not in text

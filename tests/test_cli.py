@@ -399,3 +399,130 @@ class TestCompare:
         rc = main(["compare", str(ledgers[0]), str(tmp_path / "missing.json")])
         assert rc == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestPerfettoOut:
+    def test_detect_perfetto_out_writes_trace_events(
+        self, karate_file, tmp_path, capsys
+    ):
+        import json
+
+        out = tmp_path / "trace.perfetto.json"
+        rc = main(
+            ["detect", karate_file, "--perfetto-out", str(out)]
+        )
+        assert rc == 0
+        assert "perfetto:" in capsys.readouterr().err
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        assert any(e["ph"] == "X" and e["name"] == "score" for e in events)
+        assert any(e["ph"] == "M" for e in events)
+
+    def test_perfetto_out_alone_enables_tracing(self, karate_file, tmp_path):
+        # no --trace-out needed: --perfetto-out must switch the tracer on
+        out = tmp_path / "t.json"
+        rc = main(["detect", karate_file, "--perfetto-out", str(out)])
+        assert rc == 0
+        assert out.exists()
+
+
+class TestReport:
+    @pytest.fixture()
+    def trace_file(self, karate_file, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        labels = tmp_path / "labels.txt"
+        assert (
+            main(
+                [
+                    "detect",
+                    karate_file,
+                    "-o",
+                    str(labels),
+                    "--trace-out",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        return trace
+
+    def test_report_to_stdout(self, trace_file, capsys):
+        rc = main(["report", str(trace_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "## Phase breakdown" in out
+        assert "## Trace consistency" in out
+
+    def test_report_to_file(self, trace_file, tmp_path):
+        out = tmp_path / "report.md"
+        rc = main(["report", str(trace_file), "-o", str(out)])
+        assert rc == 0
+        assert "## Hotspots" in out.read_text()
+
+    def test_report_html(self, trace_file, tmp_path):
+        out = tmp_path / "report.html"
+        rc = main(["report", str(trace_file), "-o", str(out), "--html"])
+        assert rc == 0
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_report_with_ledger(self, trace_file, tmp_path, capsys):
+        from repro.bench.ledger import write_ledger
+        from tests.test_bench_ledger import make_record
+
+        ledger = write_ledger(make_record(name="run"), directory=tmp_path)
+        rc = main(["report", str(trace_file), "--ledger", str(ledger)])
+        assert rc == 0
+        assert "## Benchmark ledger" in capsys.readouterr().out
+
+    def test_unreadable_trace_exits_two(self, tmp_path, capsys):
+        rc = main(["report", str(tmp_path / "missing.jsonl")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTrend:
+    @pytest.fixture()
+    def ledger_series(self, tmp_path):
+        from repro.bench.ledger import write_ledger
+        from tests.test_bench_ledger import make_record
+
+        paths = []
+        for k, match in enumerate((0.5, 0.5, 2.0)):
+            record = make_record(
+                name=f"run{k}", match=match,
+                totals=(1.0 + match, 1.2 + match),
+            )
+            record.created_unix = float(k)
+            paths.append(
+                str(write_ledger(record, tmp_path / f"BENCH_run{k}.json"))
+            )
+        return paths
+
+    def test_trend_tabulates_and_plots(self, ledger_series, capsys):
+        rc = main(["trend", *ledger_series])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "run0" in out and "run2" in out
+        assert "end_to_end" in out
+
+    def test_trend_flags_regression_without_strict(self, ledger_series, capsys):
+        rc = main(["trend", *ledger_series])
+        assert rc == 0  # informational by default
+        assert "regressions between consecutive runs" in capsys.readouterr().out
+        # run0 -> run2 doubles end-to-end time
+
+    def test_trend_strict_exits_one_on_regression(self, ledger_series):
+        assert main(["trend", *ledger_series, "--strict"]) == 1
+
+    def test_trend_strict_clean_exits_zero(self, ledger_series):
+        assert main(["trend", *ledger_series[:2], "--strict"]) == 0
+
+    def test_trend_metric_selection(self, ledger_series, capsys):
+        rc = main(["trend", *ledger_series, "--metric", "score"])
+        assert rc == 0
+        assert "score" in capsys.readouterr().out
+
+    def test_trend_unreadable_ledger_exits_two(self, tmp_path, capsys):
+        rc = main(["trend", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

@@ -333,3 +333,72 @@ class TestPrometheus:
                 name, value = line.rsplit(" ", 1)
                 assert name
                 float(value)  # every sample value parses as a number
+
+
+class TestFromSnapshotValidation:
+    """Worker snapshots are validated on ingest, before any merge."""
+
+    def good_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("chunks").inc(3)
+        reg.gauge("load").set(0.5)
+        reg.histogram("wait", [1.0, 2.0]).observe(1.5)
+        return reg.snapshot()
+
+    def test_round_trip(self):
+        snap = self.good_snapshot()
+        reg = MetricsRegistry.from_snapshot(snap)
+        assert reg.snapshot() == snap
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError, match="must be a dict"):
+            MetricsRegistry.from_snapshot([("counters", {})])  # type: ignore[arg-type]
+
+    def test_rejects_negative_counter(self):
+        snap = self.good_snapshot()
+        snap["counters"]["chunks"] = -1
+        with pytest.raises(ValueError, match="'chunks'.*negative"):
+            MetricsRegistry.from_snapshot(snap)
+
+    def test_rejects_nan_gauge(self):
+        snap = self.good_snapshot()
+        snap["gauges"]["load"]["value"] = float("nan")
+        with pytest.raises(ValueError, match="'load'.*NaN"):
+            MetricsRegistry.from_snapshot(snap)
+
+    def test_rejects_bucket_count_mismatch(self):
+        snap = self.good_snapshot()
+        snap["histograms"]["wait"]["counts"] = [0, 1]  # needs len(edges)+1 == 3
+        with pytest.raises(
+            ValueError, match="bucket schema mismatch between worker and parent"
+        ):
+            MetricsRegistry.from_snapshot(snap)
+
+    def test_rejects_negative_bucket_count(self):
+        snap = self.good_snapshot()
+        snap["histograms"]["wait"]["counts"] = [0, -1, 2]
+        snap["histograms"]["wait"]["total"] = 1
+        with pytest.raises(ValueError, match="'wait'.*negative bucket"):
+            MetricsRegistry.from_snapshot(snap)
+
+    def test_rejects_total_bucket_sum_mismatch(self):
+        snap = self.good_snapshot()
+        snap["histograms"]["wait"]["total"] = 99
+        with pytest.raises(ValueError, match="total 99 does not match"):
+            MetricsRegistry.from_snapshot(snap)
+
+    def test_merge_after_ingest_preserves_bucket_boundaries(self):
+        parent = MetricsRegistry()
+        parent.histogram("wait", [1.0, 2.0]).observe(0.5)
+        worker = MetricsRegistry.from_snapshot(self.good_snapshot())
+        parent.merge(worker)
+        h = parent.histograms["wait"]
+        assert h.edges == (1.0, 2.0)
+        assert h.total == 2
+
+    def test_merge_rejects_mismatched_edges_after_ingest(self):
+        parent = MetricsRegistry()
+        parent.histogram("wait", [5.0]).observe(0.5)
+        worker = MetricsRegistry.from_snapshot(self.good_snapshot())
+        with pytest.raises(ValueError, match="cannot merge edges"):
+            parent.merge(worker)

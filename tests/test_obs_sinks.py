@@ -251,3 +251,65 @@ class TestEmptyAndTruncated:
         # ...but an explicit completeness demand rejects them.
         with pytest.raises(ReproError, match="no end trailer"):
             read_trace(path, require_complete=True)
+
+
+class TestSchemaV2:
+    """v2 traces carry pid/tid/epoch_ns; v1 files still load."""
+
+    def test_round_trip_preserves_identity_fields(self, tmp_path):
+        tr = Tracer()
+        with tr.span("pool_run"):
+            tr.record_span(
+                "worker_chunk", start_ns=1, end_ns=2, pid=4242,
+                queue_wait_s=0.1,
+            )
+        path = tmp_path / "t.jsonl"
+        write_trace(tr, path)
+        loaded = read_trace(path).spans
+        by_name = {s.name: s for s in loaded}
+        lane = by_name["worker_chunk"]
+        assert lane.pid == 4242 and lane.tid == 4242
+        root = by_name["pool_run"]
+        assert root.pid == tr.spans[-1].pid
+        assert root.tid == tr.spans[-1].tid
+        assert root.epoch_ns == tr.epoch_ns
+
+    def test_v1_file_loads_with_defaults(self, tmp_path):
+        path = tmp_path / "v1.jsonl"
+        lines = [
+            json.dumps(
+                {
+                    "event": "header",
+                    "schema": "repro-run-trace",
+                    "version": 1,
+                    "meta": {"command": "old"},
+                }
+            ),
+            json.dumps(
+                {
+                    "event": "span",
+                    "id": 0,
+                    "parent": None,
+                    "name": "run",
+                    "level": None,
+                    "start_ns": 0,
+                    "end_ns": 100,
+                    "duration_s": 1e-7,
+                    "items": 0,
+                    "attrs": {},
+                }
+            ),
+            json.dumps({"event": "end", "n_spans": 1}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        data = read_trace(path)
+        span = data.spans[0]
+        assert span.pid is None
+        assert span.tid is None
+        assert span.epoch_ns == 0
+
+    def test_written_meta_declares_v2(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(make_tracer(1), path)
+        meta = json.loads(path.read_text().splitlines()[0])
+        assert meta["version"] == SCHEMA_VERSION == 2

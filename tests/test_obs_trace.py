@@ -165,3 +165,77 @@ class TestSpanDataclass:
         s = Span(name="x", span_id=0, start_ns=1_000, end_ns=3_500_000)
         assert s.duration_ns == 3_499_000
         assert s.duration_s == pytest.approx(3.499e-3)
+
+
+class TestSpanIdentity:
+    """v2 schema: every span knows its pid/tid and clock epoch."""
+
+    def test_span_stamped_with_pid_tid_epoch(self):
+        import os
+        import threading
+
+        tr = Tracer()
+        with tr.span("work"):
+            pass
+        span = tr.spans[0]
+        assert span.pid == os.getpid()
+        assert span.tid == threading.get_native_id()
+        assert span.epoch_ns == tr.epoch_ns
+        assert tr.epoch_ns > 0
+
+    def test_epoch_fixed_per_tracer(self):
+        tr = Tracer()
+        with tr.span("a"):
+            pass
+        with tr.span("b"):
+            pass
+        assert tr.spans[0].epoch_ns == tr.spans[1].epoch_ns
+
+    def test_null_tracer_epoch_zero(self):
+        assert NullTracer.epoch_ns == 0
+
+
+class TestRecordSpan:
+    """Externally-measured spans (worker flight records)."""
+
+    def test_parents_onto_open_span(self):
+        tr = Tracer()
+        with tr.span("pool_run") as handle:
+            lane = tr.record_span(
+                "worker_chunk", start_ns=10, end_ns=20, pid=4242
+            )
+        assert lane.parent_id == handle.span.span_id
+        assert lane.start_ns == 10 and lane.end_ns == 20
+
+    def test_worker_pid_kept_tid_defaults_to_pid(self):
+        tr = Tracer()
+        lane = tr.record_span("worker_chunk", start_ns=0, end_ns=1, pid=4242)
+        assert lane.pid == 4242
+        assert lane.tid == 4242
+
+    def test_pid_defaults_to_current_process(self):
+        import os
+
+        tr = Tracer()
+        lane = tr.record_span("x", start_ns=0, end_ns=1)
+        assert lane.pid == os.getpid()
+
+    def test_items_and_attrs(self):
+        tr = Tracer()
+        lane = tr.record_span(
+            "worker_chunk", start_ns=0, end_ns=1, items=5, lo=0, hi=5,
+            queue_wait_s=0.25,
+        )
+        assert lane.items == 5
+        assert lane.attrs == {"lo": 0, "hi": 5, "queue_wait_s": 0.25}
+
+    def test_appended_in_call_order_with_unique_ids(self):
+        tr = Tracer()
+        a = tr.record_span("a", start_ns=0, end_ns=1)
+        b = tr.record_span("b", start_ns=1, end_ns=2)
+        assert [s.name for s in tr.spans] == ["a", "b"]
+        assert a.span_id != b.span_id
+
+    def test_null_tracer_noop(self):
+        assert NULL_TRACER.record_span("x", start_ns=0, end_ns=1) is None
+        assert NULL_TRACER.spans == ()

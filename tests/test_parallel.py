@@ -153,3 +153,52 @@ class TestPoolMetrics:
         parallel_edge_scores(karate, n_workers=2)
         # outside a traced run the module-level registry is the null one
         assert worker_metrics().snapshot()["counters"] == {}
+
+
+class TestFlightRecorder:
+    """Process workers flight-record each chunk as a worker_chunk lane."""
+
+    @pytest.mark.timeout(120)
+    def test_process_run_records_worker_chunk_lanes(self, karate):
+        import os
+
+        from repro.obs import Tracer
+
+        tr = Tracer()
+        parallel_edge_scores(karate, n_workers=2, tracer=tr)
+        lanes = [s for s in tr.spans if s.name == "worker_chunk"]
+        assert lanes
+        pool_run = next(s for s in tr.spans if s.name == "pool_run")
+        for lane in lanes:
+            assert lane.parent_id == pool_run.span_id
+            assert lane.pid != os.getpid()  # stamped in the forked worker
+            assert lane.end_ns > lane.start_ns
+            assert lane.attrs["queue_wait_s"] >= 0.0
+            assert lane.attrs["hi"] > lane.attrs["lo"]
+        # lanes cover every edge exactly once
+        assert sum(s.items for s in lanes) == karate.n_edges
+
+    @pytest.mark.timeout(120)
+    def test_queue_wait_histogram_recorded(self, karate):
+        from repro.obs import Tracer
+
+        tr = Tracer()
+        parallel_edge_scores(karate, n_workers=2, tracer=tr)
+        snap = tr.metrics.snapshot()
+        hist = snap["histograms"]["pool.queue_wait_ms"]
+        lanes = [s for s in tr.spans if s.name == "worker_chunk"]
+        assert hist["total"] == len(lanes)
+
+    def test_inline_run_has_no_lanes(self, karate):
+        from repro.obs import Tracer
+
+        tr = Tracer()
+        parallel_edge_scores(karate, n_workers=1, tracer=tr)
+        assert not [s for s in tr.spans if s.name == "worker_chunk"]
+        assert "pool.queue_wait_ms" not in tr.metrics.snapshot()["histograms"]
+
+    @pytest.mark.timeout(120)
+    def test_untraced_process_run_ships_no_flight_payloads(self, karate):
+        # NullTracer → no metrics queue is even created; the run still works
+        scores = parallel_edge_scores(karate, n_workers=2)
+        assert len(scores) == karate.n_edges
