@@ -41,6 +41,7 @@ from pathlib import Path
 
 from repro.bench.reporting import format_table
 from repro.errors import ReproError
+from repro.util.atomicio import atomic_write
 
 __all__ = [
     "LEDGER_SCHEMA_VERSION",
@@ -292,17 +293,9 @@ def write_ledger(
         record.name, directory
     )
     final.parent.mkdir(parents=True, exist_ok=True)
-    tmp = final.with_name(final.name + f".tmp.{os.getpid()}")
-    try:
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(record.as_dict(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, final)
-    finally:
-        if tmp.exists():
-            tmp.unlink()
+    with atomic_write(final) as fh:
+        json.dump(record.as_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
     return final
 
 

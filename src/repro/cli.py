@@ -141,10 +141,29 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
     if args.algorithm == "parallel":
         scorer = create_kernel("scorer", args.scorer)
+        # --spill-dir without an explicit directory (i.e. --memory-budget
+        # alone) still spills somewhere: a memory breach must land on the
+        # spill rung, not on abort.
+        spill_dir = args.spill_dir
+        spill_dir_owned = False
+        if (
+            spill_dir is None
+            and args.memory_budget is not None
+        ):
+            import tempfile
+
+            spill_dir = tempfile.mkdtemp(prefix="repro-spill-")
+            spill_dir_owned = True
         # --backend names an execution backend explicitly; bare
         # --workers N keeps its historical meaning of a process pool.
         backend = None
-        if args.backend is not None or args.workers > 1:
+        if args.backend == "sharded":
+            from repro.parallel.backends import ShardedBackend
+
+            backend = ShardedBackend(
+                spill_dir=args.spill_dir, n_shards=args.shards
+            )
+        elif args.backend is not None or args.workers > 1:
             backend = create_backend(
                 args.backend or "process-pool",
                 n_workers=args.workers if args.workers > 1 else None,
@@ -167,6 +186,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                 args.audit,
                 phase_deadline_s=args.phase_deadline,
                 memory_budget_mb=args.memory_budget,
+                spill_dir=spill_dir,
+                spill_shards=args.shards,
             )
         tr = as_tracer(tracer)
         try:
@@ -192,6 +213,12 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                     backend=backend.name if backend is not None else "serial",
                 )
         except RunAbortedError as exc:
+            if backend is not None and hasattr(backend, "release"):
+                backend.release()
+            if spill_dir_owned:
+                import shutil
+
+                shutil.rmtree(spill_dir, ignore_errors=True)
             print(f"error: {exc}", file=sys.stderr)
             if exc.report is not None:
                 print(f"resilience: {exc.report.summary()}", file=sys.stderr)
@@ -210,6 +237,14 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             )
             return 3
         partition = result.partition
+        # The spill stores have served their purpose once the dendrogram
+        # exists; drop backend-owned state and any implicit temp dir.
+        if backend is not None and hasattr(backend, "release"):
+            backend.release()
+        if spill_dir_owned:
+            import shutil
+
+            shutil.rmtree(spill_dir, ignore_errors=True)
         print(
             f"parallel agglomeration: {result.n_levels} levels, "
             f"terminated by {result.terminated_by}",
@@ -626,8 +661,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         metavar="MB",
         default=None,
-        help="soft resident-memory budget sampled after each phase; "
-        "a breach steps the degradation ladder",
+        help="soft resident-memory budget sampled after each phase; a "
+        "breach first migrates the run onto the out-of-core sharded "
+        "backend (spill rung; see docs/OUT_OF_CORE.md), then steps the "
+        "degradation ladder",
+    )
+    p.add_argument(
+        "--spill-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for out-of-core spill stores (per-level sharded "
+        "graph files); used by the guardian's spill rung and by "
+        "--backend sharded (default: a private temp dir)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        default=None,
+        help="edge-shard count for spilled graphs (default 8)",
     )
     p.add_argument(
         "--checkpoint-dir",

@@ -43,6 +43,7 @@ from typing import Callable
 
 from repro.core.contraction import contract, contract_hash_chains
 from repro.core.matching import match_full_sweep, match_locally_dominant
+from repro.core.outofcore import contract_sharded, match_gmm_capped
 from repro.core.scoring import ConductanceScorer, ModularityScorer, WeightScorer
 
 __all__ = [
@@ -129,5 +130,11 @@ register_kernel("scorer", "conductance", ConductanceScorer)
 register_kernel("scorer", "weight", WeightScorer)
 register_kernel("matcher", "worklist", lambda: match_locally_dominant)
 register_kernel("matcher", "sweep", lambda: match_full_sweep)
+# The GMM-style cap-respecting matcher: bit-identical to worklist/sweep
+# but streams shard windows, never materialising an edge-length
+# anonymous array (the out-of-core / spill-rung matcher).
+register_kernel("matcher", "gmm", lambda: match_gmm_capped)
 register_kernel("contractor", "bucket", lambda: contract)
 register_kernel("contractor", "chains", lambda: contract_hash_chains)
+# Spill-backed bucket-sort contraction for the out-of-core path.
+register_kernel("contractor", "shard", lambda: contract_sharded)

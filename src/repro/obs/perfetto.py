@@ -32,6 +32,7 @@ import os
 from typing import Sequence
 
 from repro.obs.trace import Span
+from repro.util.atomicio import atomic_write
 
 __all__ = ["to_chrome_trace", "write_perfetto"]
 
@@ -134,16 +135,7 @@ def write_perfetto(
     file under the final name.
     """
     doc = to_chrome_trace(spans, meta=meta)
-    final = os.fspath(path)
-    tmp = f"{final}.tmp.{os.getpid()}"
-    try:
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(doc, fh)
-            fh.write("\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, final)
-    finally:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
+    with atomic_write(path) as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
     return len(doc["traceEvents"])

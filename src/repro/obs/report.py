@@ -34,6 +34,7 @@ from typing import Any, Sequence
 
 from repro.obs.attribution import attribute_run
 from repro.obs.sinks import TraceData, phase_totals
+from repro.util.atomicio import atomic_write_text
 
 __all__ = ["render_report", "write_report", "markdown_to_html"]
 
@@ -408,15 +409,5 @@ def write_report(
         trace, ledger=ledger, title=title, attribution=attribution
     )
     payload = markdown_to_html(md, title=title) if as_html else md
-    final = os.fspath(path)
-    tmp = f"{final}.tmp.{os.getpid()}"
-    try:
-        with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(payload)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, final)
-    finally:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
+    atomic_write_text(path, payload)
     return md

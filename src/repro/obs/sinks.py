@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ReproError
 from repro.obs.trace import SCHEMA_VERSION, NullTracer, Span, Tracer
+from repro.util.atomicio import atomic_write
 
 __all__ = [
     "write_trace",
@@ -81,47 +82,33 @@ def write_trace(
     """
     snapshot = tracer.metrics.snapshot()
     n_spans = 0
-    final = os.fspath(path)
-    tmp = f"{final}.tmp.{os.getpid()}"
-    try:
-        with open(tmp, "w", encoding="utf-8") as fh:
+    with atomic_write(path) as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "event": "header",
+                    "schema": _SCHEMA_NAME,
+                    "version": SCHEMA_VERSION,
+                    "meta": meta or {},
+                }
+            )
+            + "\n"
+        )
+        for span in tracer.spans:
+            fh.write(json.dumps(_span_event(span)) + "\n")
+            n_spans += 1
+        for name, value in snapshot["counters"].items():
             fh.write(
-                json.dumps(
-                    {
-                        "event": "header",
-                        "schema": _SCHEMA_NAME,
-                        "version": SCHEMA_VERSION,
-                        "meta": meta or {},
-                    }
-                )
+                json.dumps({"event": "counter", "name": name, "value": value})
                 + "\n"
             )
-            for span in tracer.spans:
-                fh.write(json.dumps(_span_event(span)) + "\n")
-                n_spans += 1
-            for name, value in snapshot["counters"].items():
-                fh.write(
-                    json.dumps(
-                        {"event": "counter", "name": name, "value": value}
-                    )
-                    + "\n"
-                )
-            for name, g in snapshot["gauges"].items():
-                fh.write(
-                    json.dumps({"event": "gauge", "name": name, **g}) + "\n"
-                )
-            for name, h in snapshot["histograms"].items():
-                fh.write(
-                    json.dumps({"event": "histogram", "name": name, **h})
-                    + "\n"
-                )
-            fh.write(json.dumps({"event": "end", "n_spans": n_spans}) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, final)
-    finally:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
+        for name, g in snapshot["gauges"].items():
+            fh.write(json.dumps({"event": "gauge", "name": name, **g}) + "\n")
+        for name, h in snapshot["histograms"].items():
+            fh.write(
+                json.dumps({"event": "histogram", "name": name, **h}) + "\n"
+            )
+        fh.write(json.dumps({"event": "end", "n_spans": n_spans}) + "\n")
     return n_spans
 
 

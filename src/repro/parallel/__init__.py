@@ -23,6 +23,7 @@ from repro.parallel.backends import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    ShardedBackend,
     as_backend,
     backend_names,
     create_backend,
@@ -42,6 +43,7 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "ShardedBackend",
     "register_backend",
     "backend_names",
     "create_backend",

@@ -38,6 +38,7 @@ from repro.errors import CheckpointError
 from repro.graph.edgelist import EdgeList
 from repro.graph.graph import CommunityGraph
 from repro.types import VERTEX_DTYPE
+from repro.util.atomicio import atomic_write
 from repro.util.log import get_logger
 
 __all__ = ["CHECKPOINT_SCHEMA_VERSION", "CheckpointState", "CheckpointManager"]
@@ -128,7 +129,6 @@ class CheckpointManager:
                 f"state.level={state.level} but {len(state.maps)} maps given"
             )
         final = self.path_for(state.level)
-        tmp = final.with_name(final.name + f".tmp{os.getpid()}")
         e = state.graph.edges
         arrays: dict[str, np.ndarray] = {
             "schema": np.int64(CHECKPOINT_SCHEMA_VERSION),
@@ -148,15 +148,8 @@ class CheckpointManager:
         }
         for k, mapping in enumerate(state.maps):
             arrays[f"map_{k:05d}"] = np.asarray(mapping, dtype=VERTEX_DTYPE)
-        try:
-            with open(tmp, "wb") as fh:
-                np.savez_compressed(fh, **arrays)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, final)
-        finally:
-            if tmp.exists():  # replace failed or savez raised
-                tmp.unlink()
+        with atomic_write(final, mode="wb") as fh:
+            np.savez_compressed(fh, **arrays)
         self._prune()
         return final
 

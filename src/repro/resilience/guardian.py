@@ -18,15 +18,26 @@ phase boundaries:
 * **Degradation ladder** — each watchdog breach takes the next
   applicable rung instead of dying::
 
+      spill to the out-of-core sharded backend
+          (memory breaches only; requires ``spill_dir``)
       process-pool backend -> serial backend
       chunk size halving (backend rechunked)
       audit strictness lowering (full -> sample -> off)
       checkpoint-and-raise RunAbortedError
 
-  Every transition lands in :attr:`RecoveryReport.ladder`, the
-  ``guardian.breaches`` / ``guardian.degradations`` counters, a
-  ``guardian_breach`` span, and a :class:`~repro.errors.GuardianBreach`
-  warning — degraded runs finish, but never silently.
+  The spill rung is the out-of-core escape hatch: when the guardian is
+  configured with a ``spill_dir`` and a memory-budget breach fires, the
+  live run is migrated onto the sharded backend
+  (:class:`~repro.parallel.backends.ShardedBackend`) — subsequent
+  levels stream the graph from checksummed on-disk shards with an
+  ``O(V + shard)`` anonymous working set, and results stay
+  bit-identical (docs/OUT_OF_CORE.md).  Abort is thereby demoted to the
+  genuine last resort.  Every transition lands in
+  :attr:`RecoveryReport.ladder`, the ``guardian.breaches`` /
+  ``guardian.degradations`` / ``guardian.spills`` counters, a
+  ``guardian_breach`` (and ``guardian_spill``) span, and a
+  :class:`~repro.errors.GuardianBreach` warning — degraded runs finish,
+  but never silently.
 
 The default construction path (``guardian=None`` everywhere) resolves to
 the shared :data:`NULL_GUARDIAN`, whose hooks are no-ops — the unguarded
@@ -41,6 +52,7 @@ the phase so the RSS sample sees it.
 from __future__ import annotations
 
 import os
+import sys
 import time
 import warnings
 from typing import TYPE_CHECKING, Any
@@ -73,11 +85,30 @@ MAX_CHUNKS_PER_WORKER = 64
 
 
 def _rss_mb() -> float | None:
-    """Current resident set size in MiB, or ``None`` when unreadable.
+    """Resident memory charged to this process in MiB (``None`` if unknown).
 
-    Prefers ``/proc/self/statm`` (instantaneous RSS); falls back to
-    ``ru_maxrss`` (high-water mark, kilobytes on Linux) elsewhere.
+    Probes, best first:
+
+    1. ``RssAnon`` from ``/proc/self/status`` — *anonymous* resident
+       pages only.  This is the quantity the memory budget is meant to
+       bound: file-backed pages (e.g. the sharded store's memmaps) are
+       evictable by the OS at will, so counting them would keep a run
+       "over budget" even after the spill rung has moved its working set
+       onto disk.
+    2. Total RSS from ``/proc/self/statm`` — older kernels without the
+       split accounting.
+    3. ``ru_maxrss`` from ``getrusage`` — the non-Linux fallback.  A
+       high-water mark rather than an instantaneous sample, and the unit
+       is platform-dependent: bytes on macOS, kilobytes on Linux and the
+       BSDs.
     """
+    try:
+        with open("/proc/self/status", "rb") as fh:
+            for line in fh:
+                if line.startswith(b"RssAnon:"):
+                    return int(line.split()[1]) / 1024.0  # kB
+    except (OSError, IndexError, ValueError):
+        pass
     try:
         with open("/proc/self/statm", "rb") as fh:
             resident_pages = int(fh.read().split()[1])
@@ -87,9 +118,40 @@ def _rss_mb() -> float | None:
     try:
         import resource
 
-        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if rss <= 0:  # pragma: no cover - degenerate platform value
+            return None
+        if sys.platform == "darwin":  # pragma: no cover - macOS only
+            return rss / (1024 * 1024)
+        return rss / 1024
     except Exception:  # pragma: no cover - platform without getrusage
         return None
+
+
+def _trim_memory() -> None:
+    """Best-effort: hand freed allocator pages back to the OS.
+
+    glibc retains free()d arena memory indefinitely, so an RSS sample
+    taken after a large phase can stay inflated by memory that is
+    *gone* from the program's perspective.  Collecting cycles and
+    calling ``malloc_trim`` first makes the memory guard judge live
+    memory, not allocator history — in particular, after the spill rung
+    migrates a run out of core, the retired in-memory working set
+    actually leaves the resident set instead of re-breaching the budget
+    every phase.  No-op where ``malloc_trim`` does not exist.
+    """
+    import gc
+
+    gc.collect()
+    try:
+        import ctypes
+        import ctypes.util
+
+        name = ctypes.util.find_library("c")
+        if name:
+            ctypes.CDLL(name, use_errno=True).malloc_trim(0)
+    except Exception:  # pragma: no cover - non-glibc platforms
+        pass
 
 
 class _PhaseGuard:
@@ -150,6 +212,11 @@ class _PhaseGuard:
             if g.memory_budget_mb is not None:
                 rss = _rss_mb()
                 if rss is not None and rss > g.memory_budget_mb:
+                    # Over budget on the raw sample: trim freed pages
+                    # and re-check, so only *live* memory breaches.
+                    _trim_memory()
+                    rss = _rss_mb() or rss
+                if rss is not None and rss > g.memory_budget_mb:
                     g._breach(
                         "memory_budget",
                         self._level,
@@ -185,6 +252,15 @@ class RunGuardian:
         ``stall_merge_fraction`` of the level's vertices.
     tolerance / sample_every:
         Forwarded to :class:`InvariantAuditor`.
+    spill_dir:
+        Directory for the out-of-core spill rung.  ``None`` (default)
+        disables the rung — memory breaches then take the pre-existing
+        ladder unchanged.  When set, the first memory-budget breach
+        migrates the run onto the sharded backend spilling under this
+        directory instead of degrading toward abort.
+    spill_shards:
+        Shard count for the spill rung's store (``None`` uses the
+        store's default).
     faults:
         Optional :class:`FaultPlan` whose phase faults this guardian
         injects (chaos testing only).
@@ -203,6 +279,8 @@ class RunGuardian:
         stall_merge_fraction: float = 0.02,
         tolerance: float = 1e-6,
         sample_every: int = 4,
+        spill_dir: str | os.PathLike | None = None,
+        spill_shards: int | None = None,
         faults: FaultPlan | None = None,
     ) -> None:
         if phase_deadline_s is not None and phase_deadline_s <= 0:
@@ -218,11 +296,17 @@ class RunGuardian:
         )
         self.phase_deadline_s = phase_deadline_s
         self.memory_budget_mb = memory_budget_mb
+        if spill_shards is not None and spill_shards < 1:
+            raise ValueError("spill_shards must be >= 1")
         self.stall_passes = stall_passes
         self.stall_merge_fraction = stall_merge_fraction
+        self.spill_dir = spill_dir
+        self.spill_shards = spill_shards
         self.faults = faults
         self._ctx: "RunContext" | None = None
         self._rung = 0
+        self._spilled = False
+        self._spill_level = -1
         self._input_graph: "CommunityGraph" | None = None
 
     # --------------------------------------------------------------- binding
@@ -236,6 +320,8 @@ class RunGuardian:
         self._ctx = ctx
         self._input_graph = input_graph
         self._rung = 0
+        self._spilled = False
+        self._spill_level = -1
 
     def _require_ctx(self) -> "RunContext":
         if self._ctx is None:
@@ -333,11 +419,44 @@ class RunGuardian:
             GuardianBreach(f"{detail} [{reason}]"), stacklevel=3
         )
         ctx.log.warning("guardian breach (%s): %s", reason, detail)
-        self._degrade(reason)
+        self._degrade(reason, kind=kind, level=level)
 
-    def _degrade(self, reason: str) -> None:
+    def _degrade(
+        self, reason: str, *, kind: str = "", level: int = -1
+    ) -> None:
         """Apply the first applicable remaining ladder rung."""
         ctx = self._require_ctx()
+        if self.spill_dir is not None and kind == "memory_budget":
+            if not self._spilled and not getattr(
+                ctx.backend, "sharded", False
+            ):
+                # The spill rung sits above the regular ladder and fires
+                # at most once, for memory breaches only: instead of
+                # trading away parallelism or audit strictness, move the
+                # run's working set out of core and keep going at full
+                # fidelity.  It does not consume a regular rung — if
+                # memory pressure persists even out-of-core, the
+                # ordinary ladder (and eventually abort) still stands
+                # behind it.
+                self._spilled = True
+                self._spill_level = level
+                self._spill(ctx, reason)
+                return
+            if self._spilled and level <= self._spill_level:
+                # Grace window: the spill takes effect at the next level
+                # boundary (the engine spills the graph when the level
+                # is entered), so the remaining phases of the breaching
+                # level still run in-memory.  Degrading again before the
+                # remedy could possibly work would burn the ladder down
+                # to abort on the very breach the spill is answering.
+                ctx.log.warning(
+                    "guardian: memory breach (%s) within the spill "
+                    "grace window (spilled at level %d); not degrading "
+                    "further",
+                    reason,
+                    self._spill_level,
+                )
+                return
         while self._rung < len(LADDER_RUNGS):
             rung = LADDER_RUNGS[self._rung]
             self._rung += 1
@@ -356,6 +475,34 @@ class RunGuardian:
             reason=reason,
             report=ctx.recovery,
         )
+
+    def _spill(self, ctx: "RunContext", reason: str) -> None:
+        """Migrate the live run onto the out-of-core sharded backend.
+
+        The backend swap takes effect immediately; the engine spills the
+        community graph at the next level boundary and streams every
+        phase from the on-disk store from then on.  Results are
+        bit-identical to the in-memory run (docs/OUT_OF_CORE.md).
+        """
+        from repro.parallel.backends import ShardedBackend
+
+        ctx.backend = ShardedBackend(
+            spill_dir=self.spill_dir,
+            n_shards=self.spill_shards,
+            chunks_per_worker=getattr(ctx.backend, "chunks_per_worker", 1),
+        )
+        transition = f"spill({reason})"
+        ctx.recovery.ladder.append(transition)
+        ctx.recovery.spills += 1
+        ctx.tracer.counter("guardian.spills").inc()
+        ctx.tracer.counter("guardian.degradations").inc()
+        with ctx.tracer.span("guardian_spill", rung="spill") as sp:
+            sp.set(
+                reason=reason,
+                transition=transition,
+                spill_dir=str(self.spill_dir),
+            )
+        ctx.log.warning("guardian degradation: %s", transition)
 
     def _apply_rung(
         self, ctx: "RunContext", rung: str, reason: str

@@ -1,5 +1,6 @@
 """Small shared utilities: RNG handling, timing, validation, array helpers."""
 
+from repro.util.atomicio import atomic_write, atomic_write_bytes, atomic_write_text
 from repro.util.rng import as_generator, spawn_seeds
 from repro.util.timing import Timer
 from repro.util.validation import (
@@ -10,6 +11,9 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "atomic_write",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "as_generator",
     "spawn_seeds",
     "Timer",

@@ -1,0 +1,101 @@
+"""The GMM-style cap-respecting matcher and its streaming siblings.
+
+:func:`repro.core.outofcore.match_gmm_capped` replays the worklist
+matcher shard-window-at-a-time; these tests pin its bit-identity to
+:func:`~repro.core.matching.match_locally_dominant` on in-memory graphs
+across shard caps, plus the registry exposure of the out-of-core
+kernels (``gmm`` matcher, ``shard`` contractor) and the streaming
+scorer/contractor parity on plain graphs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.contraction import contract
+from repro.core.matching import match_locally_dominant
+from repro.core.outofcore import (
+    contract_sharded,
+    match_gmm_capped,
+    score_sharded,
+)
+from repro.core.registry import create_kernel, kernel_names
+from repro.core.scoring import ModularityScorer
+from repro.generators import planted_partition_graph, rmat_graph
+
+
+@pytest.fixture(scope="module")
+def sbm():
+    return planted_partition_graph(500, seed=5)
+
+
+@pytest.fixture(scope="module")
+def rmat():
+    return rmat_graph(7, 8, seed=13)
+
+
+def scored(graph):
+    return ModularityScorer().score(graph)
+
+
+def assert_matchings_identical(a, b):
+    np.testing.assert_array_equal(a.partner, b.partner)
+    np.testing.assert_array_equal(a.matched_edges, b.matched_edges)
+    assert a.passes == b.passes
+    assert a.failed_claims == b.failed_claims
+
+
+class TestGmmMatcherParity:
+    @pytest.mark.parametrize("fixture", ["sbm", "rmat"])
+    def test_matches_worklist_bitwise(self, fixture, request):
+        graph = request.getfixturevalue(fixture)
+        scores = scored(graph)
+        base = match_locally_dominant(graph, scores)
+        gmm = match_gmm_capped(graph, scores)
+        assert_matchings_identical(base, gmm)
+
+    @pytest.mark.parametrize("shard_edges", [1, 7, 64, 10_000])
+    def test_cap_never_changes_the_matching(self, sbm, shard_edges):
+        scores = scored(sbm)
+        base = match_locally_dominant(sbm, scores)
+        capped = match_gmm_capped(sbm, scores, shard_edges=shard_edges)
+        assert_matchings_identical(base, capped)
+
+    def test_negative_scores_yield_empty_matching(self, sbm):
+        scores = np.full(sbm.n_edges, -1.0)
+        result = match_gmm_capped(sbm, scores)
+        assert len(result.matched_edges) == 0
+
+    def test_max_passes_guard(self, sbm):
+        scores = scored(sbm)
+        with pytest.raises(Exception):
+            match_gmm_capped(sbm, scores, max_passes=0)
+
+
+class TestStreamingKernelParity:
+    def test_score_sharded_matches_scorer(self, sbm):
+        base = scored(sbm)
+        streamed = score_sharded(ModularityScorer(), sbm)
+        np.testing.assert_array_equal(base, np.asarray(streamed))
+
+    def test_contract_sharded_matches_bucket(self, sbm):
+        scores = scored(sbm)
+        matching = match_locally_dominant(sbm, scores)
+        base_g, base_map = contract(sbm, matching)
+        shard_g, shard_map = contract_sharded(sbm, matching)
+        np.testing.assert_array_equal(base_map, shard_map)
+        np.testing.assert_array_equal(base_g.edges.ei, shard_g.edges.ei)
+        np.testing.assert_array_equal(base_g.edges.ej, shard_g.edges.ej)
+        np.testing.assert_array_equal(base_g.edges.w, shard_g.edges.w)
+        np.testing.assert_array_equal(
+            base_g.self_weights, shard_g.self_weights
+        )
+
+
+class TestRegistry:
+    def test_out_of_core_kernels_registered(self):
+        assert "gmm" in kernel_names("matcher")
+        assert "shard" in kernel_names("contractor")
+
+    def test_created_kernels_are_the_streaming_functions(self):
+        assert create_kernel("matcher", "gmm") is match_gmm_capped
+        assert create_kernel("contractor", "shard") is contract_sharded

@@ -1,0 +1,78 @@
+"""Unit tests for the consolidated atomic writer (util/atomicio.py)."""
+
+import os
+
+import pytest
+
+from repro.util.atomicio import atomic_write, atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_text_roundtrip(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_write(target) as fh:
+            fh.write("hello\n")
+        assert target.read_text() == "hello\n"
+
+    def test_bytes_roundtrip(self, tmp_path):
+        target = tmp_path / "out.bin"
+        with atomic_write(target, mode="wb") as fh:
+            fh.write(b"\x00\x01\x02")
+        assert target.read_bytes() == b"\x00\x01\x02"
+
+    def test_invalid_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="mode"):
+            with atomic_write(tmp_path / "x", mode="a"):
+                pass  # pragma: no cover - context never entered
+
+    def test_failure_leaves_previous_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        with pytest.raises(RuntimeError):
+            with atomic_write(target) as fh:
+                fh.write("partial new content")
+                raise RuntimeError("writer died mid-body")
+        assert target.read_text() == "old"
+
+    def test_failure_removes_temporary(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_write(target) as fh:
+                fh.write("x")
+                raise RuntimeError("boom")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_no_temporaries_after_success(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_write(target) as fh:
+            fh.write("ok")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_temporary_name_carries_pid(self, tmp_path):
+        # The in-flight temp name embeds the writer PID so concurrent
+        # processes writing the same artifact never collide.
+        target = tmp_path / "out.txt"
+        seen = []
+        with atomic_write(target) as fh:
+            fh.write("x")
+            seen = [p.name for p in tmp_path.iterdir()]
+        assert seen == [f"out.txt.tmp.{os.getpid()}"]
+
+    def test_overwrite_replaces_atomically(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "first")
+        atomic_write_text(target, "second")
+        assert target.read_text() == "second"
+
+
+class TestHelpers:
+    def test_atomic_write_bytes_returns_path(self, tmp_path):
+        target = tmp_path / "b.bin"
+        out = atomic_write_bytes(target, b"data")
+        assert out == target
+        assert target.read_bytes() == b"data"
+
+    def test_atomic_write_text_encoding(self, tmp_path):
+        target = tmp_path / "t.txt"
+        atomic_write_text(target, "café", encoding="utf-8")
+        assert target.read_bytes().decode("utf-8") == "café"
