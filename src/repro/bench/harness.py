@@ -18,7 +18,9 @@ from repro.core.agglomeration import AgglomerationResult, detect_communities
 from repro.core.scoring import EdgeScorer
 from repro.core.termination import TerminationCriteria
 from repro.graph.graph import CommunityGraph
+from repro.obs.memprof import NullMemoryProfiler, PhaseMemoryProfiler
 from repro.obs.sinks import phase_totals
+from repro.obs.telemetry import NullTelemetry, TelemetrySampler
 from repro.obs.timeline import NullTimeline, QualityTimeline
 from repro.obs.trace import NullTracer, Tracer, as_tracer
 from repro.parallel.backends import ExecutionBackend, as_backend
@@ -105,6 +107,8 @@ def run_with_trace(
     resume: bool = False,
     backend: "ExecutionBackend | str | None" = None,
     guardian: "RunGuardian | NullGuardian | None" = None,
+    telemetry: "TelemetrySampler | NullTelemetry | None" = None,
+    memprof: "PhaseMemoryProfiler | NullMemoryProfiler | None" = None,
 ) -> TracedRun:
     """Run detection with a fresh recorder (and optional tracer) attached.
 
@@ -120,7 +124,10 @@ def run_with_trace(
     ``guardian`` attaches a :class:`~repro.resilience.RunGuardian`
     supervising the run (watchdog, invariant audits, degradation
     ladder) — its recovery accounting lands on the result and hence the
-    benchmark ledger.
+    benchmark ledger.  ``telemetry``/``memprof`` attach the
+    live-telemetry sampler and the phase memory attributor (the caller
+    owns their start/stop lifecycle; see :mod:`repro.obs.telemetry` and
+    :mod:`repro.obs.memprof`).
     """
     recorder = TraceRecorder()
     tr = as_tracer(tracer)
@@ -139,6 +146,8 @@ def run_with_trace(
             resume=resume,
             backend=backend_obj,
             guardian=guardian,
+            telemetry=telemetry,
+            memprof=memprof,
         )
         sp.set(
             items=graph.n_edges,

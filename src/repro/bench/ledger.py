@@ -87,7 +87,12 @@ class Repetition:
     ``attribution`` is the :func:`~repro.obs.attribution.attribute_run`
     block (hotspots, worker imbalance, serial fraction, Amdahl ceiling)
     when the repetition was traced (``None`` otherwise), so the ledger
-    records not just *how fast* but *why that fast*.
+    records not just *how fast* but *why that fast*; ``telemetry`` is
+    the :meth:`~repro.obs.telemetry.TelemetrySampler.stats` block
+    (sample count, in-flight peak RSS, max ramp rate) when the
+    repetition ran under the live sampler (``None`` otherwise) — unlike
+    ``peak_rss_bytes`` (the kernel's whole-process high-water mark) it
+    reflects only this repetition's window.
     """
 
     total_s: float
@@ -99,6 +104,7 @@ class Repetition:
     terminated_by: str = ""
     recovery: dict | None = None
     attribution: dict | None = None
+    telemetry: dict | None = None
 
     def final_quality(self) -> dict | None:
         """The last level's quality sample, if a timeline was recorded."""
@@ -166,6 +172,7 @@ class RunRecord:
                     "terminated_by": r.terminated_by,
                     "recovery": r.recovery,
                     "attribution": r.attribution,
+                    "telemetry": r.telemetry,
                 }
                 for r in self.repetitions
             ],
@@ -192,6 +199,7 @@ class RunRecord:
                     terminated_by=r.get("terminated_by", ""),
                     recovery=r.get("recovery"),
                     attribution=r.get("attribution"),
+                    telemetry=r.get("telemetry"),
                 )
                 for r in data.get("repetitions", [])
             ]
@@ -208,7 +216,13 @@ class RunRecord:
             raise ReproError(f"{source}: malformed ledger: {exc}") from exc
 
 
-def repetition_from_run(run, total_s: float) -> Repetition:
+def repetition_from_run(
+    run,
+    total_s: float,
+    *,
+    telemetry: dict | None = None,
+    memory: dict | None = None,
+) -> Repetition:
     """Build a :class:`Repetition` from a harness :class:`TracedRun`.
 
     ``total_s`` is the externally measured end-to-end wall time of the
@@ -216,7 +230,11 @@ def repetition_from_run(run, total_s: float) -> Repetition:
     (:meth:`~repro.bench.harness.TracedRun.phase_breakdown`), the
     quality block from its timeline, and the attribution block
     (:func:`repro.obs.attribution.attribute_run`) from its tracer,
-    when each was attached.
+    when each was attached.  ``telemetry`` is the live sampler's
+    :meth:`~repro.obs.telemetry.TelemetrySampler.stats` block for this
+    repetition, and ``memory`` the phase memory-attribution report
+    (:meth:`~repro.obs.memprof.PhaseMemoryProfiler.report`) — both pass
+    through into the stored repetition / attribution document.
     """
     timeline = getattr(run, "timeline", None)
     recovery = getattr(run.result, "recovery", None)
@@ -225,7 +243,7 @@ def repetition_from_run(run, total_s: float) -> Repetition:
     if tracer is not None and getattr(tracer, "enabled", False):
         from repro.obs.attribution import attribute_run
 
-        attribution = attribute_run(list(tracer.spans))
+        attribution = attribute_run(list(tracer.spans), memory=memory)
     return Repetition(
         total_s=float(total_s),
         phases=run.phase_breakdown() or {},
@@ -244,6 +262,7 @@ def repetition_from_run(run, total_s: float) -> Repetition:
             else None
         ),
         attribution=attribution,
+        telemetry=telemetry or None,
     )
 
 
@@ -544,6 +563,16 @@ def render_ledger(record: RunRecord) -> str:
     if rep is not None and rep.peak_rss_bytes:
         blocks.append(
             f"peak RSS: {rep.peak_rss_bytes / (1024 * 1024):.1f} MiB"
+        )
+    if rep is not None and rep.telemetry:
+        t = rep.telemetry
+        blocks.append(
+            f"live telemetry (repetition 0): "
+            f"{t.get('n_samples', 0)} sample(s) at "
+            f"{t.get('interval_s', 0.0):g}s, "
+            f"peak {t.get('peak_rss_mb', 0.0):.1f} MB anon RSS, "
+            f"max ramp {t.get('max_ramp_mb_s', 0.0):+.2f} MB/s "
+            f"[{t.get('rss_source', '?')}]"
         )
     if rep is not None and rep.attribution:
         a = rep.attribution

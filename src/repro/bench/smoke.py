@@ -34,7 +34,7 @@ from repro.parallel.backends import backend_names, create_backend
 from repro.resilience.guardian import RunGuardian
 from repro.resilience.invariants import AUDIT_MODES
 
-__all__ = ["run_smoke", "main"]
+__all__ = ["run_smoke", "append_dated_ledger", "main"]
 
 
 def run_smoke(
@@ -54,6 +54,12 @@ def run_smoke(
     shards: int | None = None,
     trace_out: str | None = None,
     perfetto_out: str | None = None,
+    telemetry: bool = False,
+    telemetry_interval: float = 0.05,
+    status_file: str | None = None,
+    memprof: bool = False,
+    append_ledger_dir: str | None = None,
+    keep_ledgers: int = 30,
 ):
     """Run the smoke benchmark and write its ledger; returns (record, path).
 
@@ -65,6 +71,16 @@ def run_smoke(
     up in the ledger's recovery block.  ``trace_out``/``perfetto_out``
     export the *last* repetition's trace as JSONL / Chrome trace-event
     JSON — the inputs ``repro report`` and Perfetto consume.
+
+    ``telemetry`` (or a ``status_file``) attaches a fresh live sampler
+    per repetition — counter samples land in that repetition's trace
+    and the sampler's stats block lands on the stored repetition;
+    ``memprof`` additionally attributes allocations per phase
+    (tracemalloc; slows the timed region, so compare like with like).
+    ``append_ledger_dir`` copies the written ledger to
+    ``<dir>/BENCH_<name>-<UTC date>.json`` and prunes the directory to
+    the newest ``keep_ledgers`` dated files — the feed ``repro trend``
+    plots.
     """
     if reps < 1:
         raise ValueError("reps must be at least 1")
@@ -119,19 +135,52 @@ def run_smoke(
             if audit != "off" or memory_budget is not None
             else None
         )
+        sampler = None
+        profiler = None
+        if telemetry or status_file:
+            from repro.obs.telemetry import TelemetrySampler
+
+            sampler = TelemetrySampler(
+                tracer,
+                interval_s=telemetry_interval,
+                status_path=status_file,
+                meta={"command": "bench.smoke", "name": name},
+            ).start()
+        if memprof:
+            from repro.obs.memprof import PhaseMemoryProfiler
+
+            profiler = PhaseMemoryProfiler().start()
         t0 = time.perf_counter()
-        run = run_with_trace(
-            graph,
-            graph_name=record.graph["name"],
-            matcher=matcher,  # type: ignore[arg-type]
-            contractor=contractor,  # type: ignore[arg-type]
-            tracer=tracer,
-            timeline=timeline,
-            backend=backend_obj,
-            guardian=guardian,
-        )
+        try:
+            run = run_with_trace(
+                graph,
+                graph_name=record.graph["name"],
+                matcher=matcher,  # type: ignore[arg-type]
+                contractor=contractor,  # type: ignore[arg-type]
+                tracer=tracer,
+                timeline=timeline,
+                backend=backend_obj,
+                guardian=guardian,
+                telemetry=sampler,
+                memprof=profiler,
+            )
+        except BaseException:
+            # tracemalloc must not stay armed past a failed repetition
+            if profiler is not None:
+                profiler.stop()
+            raise
+        finally:
+            if sampler is not None:
+                sampler.stop()
         total_s = time.perf_counter() - t0
-        record.repetitions.append(repetition_from_run(run, total_s))
+        record.repetitions.append(
+            repetition_from_run(
+                run,
+                total_s,
+                telemetry=sampler.stats() if sampler is not None else None,
+                memory=profiler.stop() if profiler is not None else None,
+            )
+        )
     if own_spill_dir is not None:
         import shutil
 
@@ -144,9 +193,52 @@ def run_smoke(
     if perfetto_out:
         from repro.obs.perfetto import write_perfetto
 
-        write_perfetto(list(tracer.spans), perfetto_out, meta=meta)
+        write_perfetto(
+            list(tracer.spans),
+            perfetto_out,
+            samples=list(tracer.counter_samples),
+            meta=meta,
+        )
     path = write_ledger(record, directory=directory)
+    if append_ledger_dir is not None:
+        append_dated_ledger(
+            path, append_ledger_dir, name=name, keep=keep_ledgers
+        )
     return record, path
+
+
+def append_dated_ledger(
+    ledger_path,
+    directory: str,
+    *,
+    name: str = "smoke",
+    keep: int = 30,
+    date: str | None = None,
+):
+    """Copy a ledger into the dated trend feed, pruning to ``keep`` files.
+
+    The copy lands at ``<directory>/BENCH_<name>-<UTC date>.json`` (one
+    slot per day — a same-day rerun overwrites, so the feed tracks the
+    latest state of each day, not every push).  Oldest dated files
+    beyond ``keep`` are deleted; the date sits in the filename but
+    ordering uses each ledger's own ``created_unix``, the same key
+    ``repro trend`` sorts by.  Returns the destination path.
+    """
+    import shutil
+    from pathlib import Path
+
+    if keep < 1:
+        raise ValueError("keep must be at least 1")
+    src = Path(ledger_path)
+    dest_dir = Path(directory)
+    dest_dir.mkdir(parents=True, exist_ok=True)
+    stamp = date or time.strftime("%Y-%m-%d", time.gmtime())
+    dest = dest_dir / f"BENCH_{name}-{stamp}.json"
+    shutil.copyfile(src, dest)
+    dated = sorted(dest_dir.glob(f"BENCH_{name}-*.json"))
+    for stale in dated[: max(0, len(dated) - keep)]:
+        stale.unlink(missing_ok=True)
+    return dest
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -218,6 +310,47 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="edge-shard count for spilled graphs (default 8)",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="attach the live resource sampler per repetition (counter "
+        "samples in the trace, stats block in the ledger)",
+    )
+    parser.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="sampling period for --telemetry (default: 0.05 — the smoke "
+        "graph is small, so sample fast enough to catch it)",
+    )
+    parser.add_argument(
+        "--status-file",
+        metavar="PATH",
+        default=None,
+        help="write the status.json heartbeat `repro watch` renders "
+        "(implies --telemetry)",
+    )
+    parser.add_argument(
+        "--memprof",
+        action="store_true",
+        help="attribute memory per phase with tracemalloc (slows the "
+        "timed region; only compare against ledgers run the same way)",
+    )
+    parser.add_argument(
+        "--append-ledger-dir",
+        metavar="DIR",
+        default=None,
+        help="also copy the ledger to <DIR>/BENCH_<name>-<UTC date>.json "
+        "for `repro trend`, pruning to --keep-ledgers files",
+    )
+    parser.add_argument(
+        "--keep-ledgers",
+        type=int,
+        default=30,
+        metavar="N",
+        help="dated ledgers retained in --append-ledger-dir (default: 30)",
+    )
     args = parser.parse_args(argv)
     record, path = run_smoke(
         name=args.name,
@@ -235,6 +368,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         shards=args.shards,
         trace_out=args.trace_out,
         perfetto_out=args.perfetto_out,
+        telemetry=args.telemetry,
+        telemetry_interval=args.telemetry_interval,
+        status_file=args.status_file,
+        memprof=args.memprof,
+        append_ledger_dir=args.append_ledger_dir,
+        keep_ledgers=args.keep_ledgers,
     )
     print(render_ledger(record))
     print(f"\nledger written to {path}", file=sys.stderr)

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro bench     # regenerate a paper exhibit (table1..figure3)
     python -m repro report    # render a run trace (+ ledger) to Markdown/HTML
     python -m repro trend     # metric trajectory across BENCH_*.json ledgers
+    python -m repro watch     # live ASCII view of a running run's status.json
 
 Every command reads/writes the formats in :mod:`repro.graph.io`
 (``edgelist``, ``metis``, ``npz``, auto-detected from the extension).
@@ -17,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 import numpy as np
@@ -66,6 +68,51 @@ def _make_tracer(args: argparse.Namespace) -> Tracer | None:
     return None
 
 
+def _make_telemetry(
+    args: argparse.Namespace, tracer: Tracer | None
+) -> "TelemetrySampler | None":
+    """A live-telemetry sampler when ``--telemetry``/``--status-file``
+    ask for one (counter samples need a tracer; the status heartbeat
+    does not)."""
+    if not (
+        getattr(args, "telemetry", False)
+        or getattr(args, "status_file", None)
+    ):
+        return None
+    from repro.obs.telemetry import TelemetrySampler
+
+    return TelemetrySampler(
+        tracer,
+        interval_s=getattr(args, "telemetry_interval", 0.25),
+        status_path=getattr(args, "status_file", None),
+        meta={"command": args.command},
+    )
+
+
+def _make_memprof(args: argparse.Namespace) -> "PhaseMemoryProfiler | None":
+    if not getattr(args, "memprof", False):
+        return None
+    from repro.obs.memprof import PhaseMemoryProfiler
+
+    return PhaseMemoryProfiler()
+
+
+def _print_memprof(report: dict) -> None:
+    phases = (report or {}).get("phases") or {}
+    if not phases:
+        return
+    print("memory attribution (tracemalloc):", file=sys.stderr)
+    for name, p in phases.items():
+        line = (
+            f"  {name}: net {p['net_bytes'] / 1e6:+.1f} MB, "
+            f"peak {p['peak_bytes'] / 1e6:.1f} MB over {p['calls']} call(s)"
+        )
+        top = p.get("top_sites") or []
+        if top:
+            line += f"; top site {top[0]['site']} ({top[0]['net_bytes'] / 1e6:+.1f} MB)"
+        print(line, file=sys.stderr)
+
+
 def _emit_trace(
     tracer: Tracer | None, args: argparse.Namespace, meta: dict
 ) -> None:
@@ -80,7 +127,12 @@ def _emit_trace(
     if getattr(args, "perfetto_out", None):
         from repro.obs.perfetto import write_perfetto
 
-        n = write_perfetto(list(tracer.spans), args.perfetto_out, meta=meta)
+        n = write_perfetto(
+            list(tracer.spans),
+            args.perfetto_out,
+            samples=list(tracer.counter_samples),
+            meta=meta,
+        )
         print(
             f"perfetto: {n} events written to {args.perfetto_out} "
             "(open in ui.perfetto.dev)",
@@ -190,6 +242,27 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                 spill_shards=args.shards,
             )
         tr = as_tracer(tracer)
+        telemetry = _make_telemetry(args, tracer)
+        memprof = _make_memprof(args)
+        if telemetry is not None:
+            telemetry.start()
+        if memprof is not None:
+            memprof.start()
+        live_stopped = False
+
+        def _stop_live(state: "str | None" = None) -> None:
+            # Idempotent: the abort path stops early (so the final
+            # counter samples land in the emitted trace) and the
+            # ``finally`` is the join-on-any-exception backstop.
+            nonlocal live_stopped
+            if live_stopped:
+                return
+            live_stopped = True
+            if telemetry is not None:
+                telemetry.stop(state=state)
+            if memprof is not None:
+                _print_memprof(memprof.stop())
+
         try:
             with tr.span(
                 "run", graph=args.input, algorithm="parallel"
@@ -205,6 +278,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                     resume=args.resume,
                     backend=backend,
                     guardian=guardian,
+                    telemetry=telemetry,
+                    memprof=memprof,
                 )
                 rsp.set(
                     items=graph.n_edges,
@@ -213,6 +288,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                     backend=backend.name if backend is not None else "serial",
                 )
         except RunAbortedError as exc:
+            _stop_live(state="failed")
             if backend is not None and hasattr(backend, "release"):
                 backend.release()
             if spill_dir_owned:
@@ -236,6 +312,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                 meta={"command": "detect", "input": args.input, "aborted": True},
             )
             return 3
+        finally:
+            _stop_live()
         partition = result.partition
         # The spill stores have served their purpose once the dendrogram
         # exists; drop backend-owned state and any implicit temp dir.
@@ -578,6 +656,35 @@ def _cmd_trend(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------------------ watch
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.obs.telemetry import read_status, render_status
+
+    def render_once() -> int:
+        try:
+            status = read_status(args.path)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render_status(status, stall_after_s=args.stall_after))
+        return 0
+
+    if args.once:
+        return render_once()
+    try:
+        while True:
+            # Home the cursor and clear so the view updates in place.
+            sys.stdout.write("\x1b[2J\x1b[H")
+            rc = render_once()
+            if rc != 0:
+                return rc
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
 # ----------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -715,6 +822,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a Chrome trace-event JSON timeline "
         "(open in ui.perfetto.dev or chrome://tracing)",
+    )
+    p.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="sample RSS/GC/spill/worker counters in the background and "
+        "record them into the trace (parallel algorithm only)",
+    )
+    p.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="sampling period for --telemetry (default: 0.25)",
+    )
+    p.add_argument(
+        "--status-file",
+        metavar="PATH",
+        default=None,
+        help="write an atomically-updated status.json heartbeat for "
+        "`repro watch` (implies --telemetry)",
+    )
+    p.add_argument(
+        "--memprof",
+        action="store_true",
+        help="attribute memory per pipeline phase with tracemalloc "
+        "(parallel algorithm only; adds allocation-tracking overhead)",
     )
     p.set_defaults(func=_cmd_detect)
 
@@ -879,6 +1012,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 when any consecutive pair regresses",
     )
     p.set_defaults(func=_cmd_trend)
+
+    p = sub.add_parser(
+        "watch",
+        help="live ASCII view of a running run's status.json",
+        description="Render the status.json heartbeat a telemetry-enabled "
+        "run (`repro detect --status-file ...`) keeps updated.  Refreshes "
+        "in place until interrupted; flags stale heartbeats and stalled "
+        "phases.",
+    )
+    p.add_argument(
+        "path",
+        help="status.json file, or the directory containing one",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single snapshot and exit (no screen clearing)",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="refresh period (default: 1.0)",
+    )
+    p.add_argument(
+        "--stall-after",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="seconds in one phase before flagging a stall (default: 30)",
+    )
+    p.set_defaults(func=_cmd_watch)
     return parser
 
 

@@ -37,6 +37,8 @@ from repro.core.engine import (
 from repro.core.scoring import EdgeScorer
 from repro.core.termination import TerminationCriteria
 from repro.graph.graph import CommunityGraph
+from repro.obs.memprof import NullMemoryProfiler, PhaseMemoryProfiler
+from repro.obs.telemetry import NullTelemetry, TelemetrySampler
 from repro.obs.timeline import NullTimeline, QualityTimeline
 from repro.obs.trace import NullTracer, Tracer
 from repro.parallel.backends import ExecutionBackend
@@ -65,6 +67,8 @@ def detect_communities(
     checkpoint_every: int = 1,
     backend: ExecutionBackend | str | None = None,
     guardian: RunGuardian | NullGuardian | None = None,
+    telemetry: "TelemetrySampler | NullTelemetry | None" = None,
+    memprof: "PhaseMemoryProfiler | NullMemoryProfiler | None" = None,
 ) -> AgglomerationResult:
     """Detect communities by parallel agglomeration.
 
@@ -132,6 +136,14 @@ def detect_communities(
         memory-budget guard, post-contraction invariant audits, and the
         adaptive degradation ladder (see docs/RESILIENCE.md).  ``None``
         runs unguarded at zero overhead.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.TelemetrySampler` the
+        engine publishes phase/level transitions to; the caller owns
+        its start/stop lifecycle.  ``None`` records nothing.
+    memprof:
+        Optional :class:`~repro.obs.memprof.PhaseMemoryProfiler`
+        attributing allocation deltas to phases; the caller owns
+        start/stop.  ``None`` profiles nothing.
 
     Returns
     -------
@@ -156,6 +168,8 @@ def detect_communities(
         checkpoint_every=checkpoint_every,
         progress=progress,
         guardian=guardian,
+        telemetry=telemetry,
+        memprof=memprof,
     )
     ctx.log = _log  # legacy logger name for per-level progress lines
     return engine.run(graph, ctx, resume=resume)

@@ -53,6 +53,18 @@ from repro.graph.edgelist import EdgeList
 from repro.graph.graph import CommunityGraph
 from repro.metrics.modularity import community_graph_modularity
 from repro.metrics.partition import Partition
+from repro.obs.memprof import (
+    NULL_MEMPROF,
+    NullMemoryProfiler,
+    PhaseMemoryProfiler,
+    as_memprof,
+)
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    TelemetrySampler,
+    as_telemetry,
+)
 from repro.obs.timeline import NullTimeline, QualityTimeline, as_timeline
 from repro.obs.trace import NullTracer, Tracer, as_tracer
 from repro.parallel.backends import ExecutionBackend, as_backend
@@ -190,6 +202,14 @@ class RunContext:
     guardian:
         Run guardian (watchdog + invariant audits + degradation
         ladder); defaults to the inert :data:`NULL_GUARDIAN`.
+    telemetry:
+        Live-telemetry sampler the engine publishes phase/level
+        transitions to (and whose RSS ring buffer the guardian's
+        predictive spill consumes); defaults to the inert
+        :data:`NULL_TELEMETRY`.
+    memprof:
+        Phase-scoped tracemalloc memory attributor; defaults to the
+        inert :data:`NULL_MEMPROF`.
     """
 
     tracer: Tracer | NullTracer
@@ -203,6 +223,8 @@ class RunContext:
     seed: int = 0
     log: Any = _log
     guardian: RunGuardian | NullGuardian = NULL_GUARDIAN
+    telemetry: TelemetrySampler | NullTelemetry = NULL_TELEMETRY
+    memprof: PhaseMemoryProfiler | NullMemoryProfiler = NULL_MEMPROF
 
     @classmethod
     def create(
@@ -218,6 +240,8 @@ class RunContext:
         progress: Callable[[LevelStats], None] | None = None,
         seed: int = 0,
         guardian: RunGuardian | NullGuardian | None = None,
+        telemetry: TelemetrySampler | NullTelemetry | None = None,
+        memprof: PhaseMemoryProfiler | NullMemoryProfiler | None = None,
     ) -> "RunContext":
         """Normalize optional services into a ready-to-use context."""
         if checkpoint_every < 1:
@@ -237,6 +261,8 @@ class RunContext:
             progress=progress,
             seed=seed,
             guardian=as_guardian(guardian),
+            telemetry=as_telemetry(telemetry),
+            memprof=as_memprof(memprof),
         )
 
 
@@ -464,6 +490,10 @@ class AgglomerationEngine:
         termination = self.termination
         guard = as_guardian(ctx.guardian)
         guard.bind(ctx, graph)
+        # The live-telemetry sampler reads backend/recovery state off the
+        # context every tick, so a guardian backend swap (spill rung) is
+        # visible immediately; the engine publishes phase transitions.
+        ctx.telemetry.bind_run(ctx)
 
         current = graph.copy()
         dendrogram = Dendrogram(graph.n_vertices)
@@ -573,6 +603,7 @@ class AgglomerationEngine:
                 n_levels=len(levels),
                 items=graph.n_edges,
             )
+            ctx.telemetry.publish_phase("done", None)
 
         # Fold pool-level recovery accounting (e.g. ParallelModularityScorer)
         # into the run's report; use a fresh scorer per run to avoid carrying
@@ -625,8 +656,11 @@ class AgglomerationEngine:
                 # its value-identical memmap-backed twin (results are
                 # bit-identical; see docs/OUT_OF_CORE.md).
                 current = prepare(current, level_idx, tracer=tr)
+            ctx.telemetry.publish_phase("score", level_idx)
             with tr.span("score", level=level_idx) as sp:
-                with guard.phase("score", level_idx):
+                with guard.phase("score", level_idx), ctx.memprof.phase(
+                    "score", level_idx
+                ):
                     scores = self.score_kernel.run(ctx, current)
                 if termination.max_community_size is not None:
                     e = current.edges
@@ -644,8 +678,11 @@ class AgglomerationEngine:
             if n_positive == 0:
                 return None, current, member_counts, "local_maximum"
 
+            ctx.telemetry.publish_phase("match", level_idx)
             with tr.span("match", level=level_idx) as sp:
-                with guard.phase("match", level_idx):
+                with guard.phase("match", level_idx), ctx.memprof.phase(
+                    "match", level_idx
+                ):
                     matching = self.match_kernel.run(
                         ctx, current, scores=scores
                     )
@@ -664,8 +701,11 @@ class AgglomerationEngine:
                 )
 
             before = current
+            ctx.telemetry.publish_phase("contract", level_idx)
             with tr.span("contract", level=level_idx) as sp:
-                with guard.phase("contract", level_idx):
+                with guard.phase("contract", level_idx), ctx.memprof.phase(
+                    "contract", level_idx
+                ):
                     current, mapping = self.contract_kernel.run(
                         ctx, current, matching=matching
                     )
@@ -750,6 +790,8 @@ class AgglomerationEngine:
         """Checkpointing, logging and progress after a completed level."""
         stats = levels[-1]
         tr = ctx.tracer
+        ctx.telemetry.publish_phase("idle", stats.level)
+        ctx.telemetry.publish_progress(len(levels), current.n_vertices)
         if (
             ctx.checkpoints is not None
             and len(levels) % ctx.checkpoint_every == 0

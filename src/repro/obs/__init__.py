@@ -19,7 +19,14 @@ Four layers:
 * :mod:`repro.obs.perfetto` — Chrome trace-event export
   (:func:`write_perfetto`) openable in ``ui.perfetto.dev``;
 * :mod:`repro.obs.report` — the self-contained Markdown/HTML run
-  report (:func:`render_report` / :func:`write_report`).
+  report (:func:`render_report` / :func:`write_report`);
+* :mod:`repro.obs.telemetry` — the live tier: a background
+  :class:`TelemetrySampler` recording resource counter samples (schema
+  v3) into the trace plus an atomically-written ``status.json``
+  heartbeat that ``repro watch`` renders;
+* :mod:`repro.obs.memprof` — :class:`PhaseMemoryProfiler`, the
+  tracemalloc phase-scoped memory attributor merged into the
+  attribution document.
 
 Distinct from :mod:`repro.platform` tracing: the platform layer records
 *simulated* work quantities for the paper's machine cost models; this
@@ -44,14 +51,29 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.obs.memprof import (
+    NULL_MEMPROF,
+    NullMemoryProfiler,
+    PhaseMemoryProfiler,
+    as_memprof,
+)
 from repro.obs.perfetto import to_chrome_trace, write_perfetto
 from repro.obs.report import markdown_to_html, render_report, write_report
 from repro.obs.sinks import (
     TraceData,
+    UnknownTraceRecordWarning,
     phase_totals,
     read_trace,
     render_profile,
     write_trace,
+)
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    TelemetrySampler,
+    as_telemetry,
+    read_status,
+    render_status,
 )
 from repro.obs.timeline import (
     NULL_TIMELINE,
@@ -62,6 +84,7 @@ from repro.obs.timeline import (
 )
 from repro.obs.trace import (
     NULL_TRACER,
+    CounterSample,
     NullTracer,
     Span,
     Tracer,
@@ -70,6 +93,7 @@ from repro.obs.trace import (
 
 __all__ = [
     "Span",
+    "CounterSample",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
@@ -85,10 +109,21 @@ __all__ = [
     "MetricsRegistry",
     "NullMetricsRegistry",
     "TraceData",
+    "UnknownTraceRecordWarning",
     "write_trace",
     "read_trace",
     "phase_totals",
     "render_profile",
+    "TelemetrySampler",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "as_telemetry",
+    "read_status",
+    "render_status",
+    "PhaseMemoryProfiler",
+    "NullMemoryProfiler",
+    "NULL_MEMPROF",
+    "as_memprof",
     "attribute_run",
     "self_times",
     "hotspots",

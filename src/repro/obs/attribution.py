@@ -335,6 +335,7 @@ def attribute_run(
     top_hotspots: int = 8,
     rel_tol: float = 0.05,
     abs_tol_s: float = 0.005,
+    memory: dict | None = None,
 ) -> dict:
     """The JSON-ready attribution block for one traced run.
 
@@ -342,7 +343,11 @@ def attribute_run(
     future kernel auto-tuner reads: per-phase totals and self-times,
     a per-level breakdown with per-level worker imbalance, the hotspot
     ranking, worker-lane statistics, the serial fraction with Amdahl
-    ceilings, and the consistency-invariant verdict.
+    ceilings, and the consistency-invariant verdict.  ``memory`` is the
+    optional phase memory-attribution report from
+    :meth:`repro.obs.memprof.PhaseMemoryProfiler.report` — when given
+    (non-empty) it embeds as the ``"memory"`` block, so time and
+    allocation attribution travel in one document.
     """
     spans = list(spans)
     by_id = _by_id(spans)
@@ -404,7 +409,7 @@ def attribute_run(
     violations = consistency_report(
         spans, rel_tol=rel_tol, abs_tol_s=abs_tol_s
     )
-    return {
+    out = {
         "version": ATTRIBUTION_SCHEMA_VERSION,
         "phases": phases,
         "levels": levels,
@@ -426,3 +431,6 @@ def attribute_run(
             "violations": violations,
         },
     }
+    if memory:
+        out["memory"] = memory
+    return out

@@ -15,7 +15,11 @@ The mapping:
   process track under the parent;
 * metadata events (``"ph": "M"``) name the tracks: the parent process
   becomes ``repro (parent)``, each worker ``worker <pid>``;
-* span level, item count, and attributes ride along in ``args``.
+* span level, item count, and attributes ride along in ``args``;
+* telemetry counter samples (schema v3) become counter events
+  (``"ph": "C"``) — Perfetto renders each distinct sample name as its
+  own counter track (e.g. ``rss_anon_mb`` as a memory curve) above the
+  span lanes, sharing the same time origin.
 
 No external dependency is involved: the format is plain JSON with a
 ``traceEvents`` array (`Trace Event Format`_, the stable subset
@@ -31,7 +35,7 @@ import json
 import os
 from typing import Sequence
 
-from repro.obs.trace import Span
+from repro.obs.trace import CounterSample, Span
 from repro.util.atomicio import atomic_write
 
 __all__ = ["to_chrome_trace", "write_perfetto"]
@@ -45,18 +49,23 @@ def _lane(span: Span, parent_pid: int) -> tuple[int, int]:
 
 
 def to_chrome_trace(
-    spans: Sequence[Span], *, meta: dict | None = None
+    spans: Sequence[Span],
+    *,
+    samples: Sequence[CounterSample] | None = None,
+    meta: dict | None = None,
 ) -> dict:
     """Build the Chrome trace-event JSON object for a span list.
 
     Returns ``{"traceEvents": [...], "displayTimeUnit": "ms",
     "otherData": {...}}``.  Works on v1 traces too (spans without
-    pid/tid land on a single synthetic lane).
+    pid/tid land on a single synthetic lane).  ``samples`` (telemetry
+    counter time series, schema v3) render as counter tracks.
     """
     spans = list(spans)
+    samples = list(samples or ())
     events: list[dict] = []
+    starts = [s.start_ns for s in spans] + [s.ts_ns for s in samples]
     if spans:
-        origin_ns = min(s.start_ns for s in spans)
         parent_pid = next(
             (s.pid for s in spans if s.pid is not None and s.name != "worker_chunk"),
             None,
@@ -64,10 +73,13 @@ def to_chrome_trace(
         if parent_pid is None:
             parent_pid = os.getpid()
     else:
-        origin_ns = 0
-        parent_pid = os.getpid()
+        parent_pid = next(
+            (s.pid for s in samples if s.pid is not None), os.getpid()
+        )
+    origin_ns = min(starts) if starts else 0
 
     lanes: set[tuple[int, int]] = set()
+    counter_pids: set[int] = set()
     for s in spans:
         pid, tid = _lane(s, parent_pid)
         lanes.add((pid, tid))
@@ -92,7 +104,23 @@ def to_chrome_trace(
             }
         )
 
-    for pid in sorted({p for p, _ in lanes}):
+    for s in samples:
+        # One "ph": "C" event per sample; Perfetto groups events sharing
+        # a name into one counter track and draws the value as a curve.
+        name = f"{s.name} ({s.unit})" if s.unit else s.name
+        events.append(
+            {
+                "name": name,
+                "cat": "telemetry",
+                "ph": "C",
+                "ts": (s.ts_ns - origin_ns) / 1e3,
+                "pid": s.pid if s.pid is not None else parent_pid,
+                "args": {"value": s.value},
+            }
+        )
+        counter_pids.add(s.pid if s.pid is not None else parent_pid)
+
+    for pid in sorted({p for p, _ in lanes} | counter_pids):
         name = "repro (parent)" if pid == parent_pid else f"worker {pid}"
         events.append(
             {
@@ -126,6 +154,7 @@ def write_perfetto(
     spans: Sequence[Span],
     path: str | os.PathLike,
     *,
+    samples: Sequence[CounterSample] | None = None,
     meta: dict | None = None,
 ) -> int:
     """Write a Chrome trace-event JSON file; returns the event count.
@@ -134,7 +163,7 @@ def write_perfetto(
     artifact writers, so a crash mid-export never leaves a truncated
     file under the final name.
     """
-    doc = to_chrome_trace(spans, meta=meta)
+    doc = to_chrome_trace(spans, samples=samples, meta=meta)
     with atomic_write(path) as fh:
         json.dump(doc, fh)
         fh.write("\n")

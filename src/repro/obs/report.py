@@ -238,6 +238,81 @@ def render_report(
             "",
         ]
 
+    # ------------------------------------------------------------- memory
+    mem = attr.get("memory") or {}
+    if mem.get("phases"):
+        rows = []
+        for name in ("score", "match", "contract"):
+            p = mem["phases"].get(name)
+            if p is None:
+                continue
+            top = p.get("top_sites") or []
+            site = (
+                f"`{top[0]['site']}` "
+                f"({top[0]['net_bytes'] / 1e6:+.1f} MB)"
+                if top
+                else "-"
+            )
+            rows.append(
+                [
+                    name,
+                    str(p["calls"]),
+                    f"{p['net_bytes'] / 1e6:+.1f}",
+                    f"{p['peak_bytes'] / 1e6:.1f}",
+                    site,
+                ]
+            )
+        if rows:
+            out += [
+                "## Memory attribution",
+                "",
+                f"Phase-scoped tracemalloc deltas "
+                f"(`{mem.get('tool', 'tracemalloc')}`, "
+                f"{mem.get('frames', '?')} frame(s) deep); net is "
+                "allocation minus frees across the phase, peak is the "
+                "traced high-water mark above the phase's entry level.",
+                "",
+                _table(
+                    ["phase", "calls", "net MB", "peak MB", "top site"],
+                    rows,
+                ),
+                "",
+            ]
+
+    # ---------------------------------------------------------- telemetry
+    if trace.samples:
+        series: dict[str, list] = {}
+        for s in trace.samples:
+            series.setdefault(s.name, []).append(s)
+        rows = []
+        for name in sorted(series):
+            ss = series[name]
+            values = [s.value for s in ss]
+            span_s = (ss[-1].ts_ns - ss[0].ts_ns) / 1e9
+            rows.append(
+                [
+                    f"`{name}`",
+                    str(len(ss)),
+                    f"{min(values):.1f}",
+                    f"{max(values):.1f}",
+                    f"{values[-1]:.1f}",
+                    _fmt_s(span_s),
+                ]
+            )
+        out += [
+            "## Live telemetry",
+            "",
+            f"{len(trace.samples)} counter sample(s) across "
+            f"{len(series)} series (schema v3 counter tracks; open the "
+            "Perfetto export to see the curves).",
+            "",
+            _table(
+                ["series", "samples", "min", "max", "last", "window s"],
+                rows,
+            ),
+            "",
+        ]
+
     # ------------------------------------------------------------- ledger
     if ledger is not None and getattr(ledger, "repetitions", None):
         reps = ledger.repetitions

@@ -8,10 +8,19 @@ The JSONL format is one event object per line so traces stream and
 * one ``{"event": "span", ...}`` line per finished span, in completion
   order, carrying ``id``/``parent``/``name``/``level``/``start_ns``/
   ``end_ns``/``duration_s``/``items``/``attrs``;
-* one line per metric: ``{"event": "counter" | "gauge" | "histogram",
-  "name": ..., ...}``;
+* (schema v3) one ``{"event": "counter_sample", "type": "counter",
+  "name": ..., "ts_ns": ..., "value": ...}`` line per telemetry
+  time-series sample, in record order — these interleave with the run's
+  history rather than summarizing it;
+* one line per end-of-run metric: ``{"event": "counter" | "gauge" |
+  "histogram", "name": ..., ...}``;
 * a trailer: ``{"event": "end", "n_spans": N}`` — its presence proves
   the trace was not truncated mid-write.
+
+Forward compatibility: :func:`read_trace` *skips* record kinds it does
+not know (counting them in ``TraceData.skipped_records`` and warning
+once per file) instead of raising, so a reader from this version never
+bricks on a future schema's new record types.
 
 :func:`read_trace` round-trips the file back into :class:`Span` objects
 and a metrics snapshot.  :func:`render_profile` turns a span list into
@@ -23,16 +32,24 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
-from repro.obs.trace import SCHEMA_VERSION, NullTracer, Span, Tracer
+from repro.obs.trace import (
+    SCHEMA_VERSION,
+    CounterSample,
+    NullTracer,
+    Span,
+    Tracer,
+)
 from repro.util.atomicio import atomic_write
 
 __all__ = [
     "write_trace",
     "read_trace",
     "TraceData",
+    "UnknownTraceRecordWarning",
     "phase_totals",
     "render_profile",
 ]
@@ -41,7 +58,17 @@ _SCHEMA_NAME = "repro-run-trace"
 
 #: Schema versions :func:`read_trace` can load.  v1 lacked per-span
 #: ``pid``/``tid``/``epoch_ns``; those default to ``None``/0 on import.
-_READABLE_VERSIONS = (1, SCHEMA_VERSION)
+#: v2 lacked counter samples; ``TraceData.samples`` is empty for it.
+_READABLE_VERSIONS = (1, 2, SCHEMA_VERSION)
+
+
+class UnknownTraceRecordWarning(UserWarning):
+    """A trace contained record kinds this reader does not know.
+
+    Raised (as a warning, once per file) by :func:`read_trace` when it
+    skips records — the forward-compatibility contract that lets a v3
+    reader survive v4 traces.
+    """
 
 #: The pipeline phases of one agglomeration level, in execution order.
 PHASES = ("score", "match", "contract")
@@ -62,6 +89,20 @@ def _span_event(span: Span) -> dict:
         "tid": span.tid,
         "epoch_ns": span.epoch_ns,
         "attrs": span.attrs,
+    }
+
+
+def _sample_event(sample: CounterSample) -> dict:
+    # ``type`` is the v3 record-type discriminator new record families
+    # carry; readers that do not know a type skip the record.
+    return {
+        "event": "counter_sample",
+        "type": "counter",
+        "name": sample.name,
+        "ts_ns": sample.ts_ns,
+        "value": sample.value,
+        "unit": sample.unit,
+        "pid": sample.pid,
     }
 
 
@@ -97,6 +138,8 @@ def write_trace(
         for span in tracer.spans:
             fh.write(json.dumps(_span_event(span)) + "\n")
             n_spans += 1
+        for sample in list(tracer.counter_samples):
+            fh.write(json.dumps(_sample_event(sample)) + "\n")
         for name, value in snapshot["counters"].items():
             fh.write(
                 json.dumps({"event": "counter", "name": name, "value": value})
@@ -119,13 +162,21 @@ class TraceData:
     meta: dict = field(default_factory=dict)
     version: int = SCHEMA_VERSION
     spans: list[Span] = field(default_factory=list)
+    samples: list[CounterSample] = field(default_factory=list)
     counters: dict[str, int] = field(default_factory=dict)
     gauges: dict[str, dict] = field(default_factory=dict)
     histograms: dict[str, dict] = field(default_factory=dict)
     complete: bool = False
+    #: Records skipped because their kind is unknown to this reader
+    #: (forward compatibility with future schema versions).
+    skipped_records: int = 0
 
     def find(self, name: str) -> list[Span]:
         return [s for s in self.spans if s.name == name]
+
+    def sample_series(self, name: str) -> list[CounterSample]:
+        """One counter's time series, in record (= time) order."""
+        return [s for s in self.samples if s.name == name]
 
 
 def read_trace(
@@ -158,13 +209,26 @@ def read_trace(
         or header.get("schema") != _SCHEMA_NAME
     ):
         raise ReproError(f"{path}: not a {_SCHEMA_NAME} file")
-    if header.get("version") not in _READABLE_VERSIONS:
-        raise ReproError(
-            f"{path}: unsupported trace version {header.get('version')!r}"
+    version = header.get("version")
+    if version not in _READABLE_VERSIONS:
+        # Older-than-v1 or non-integer versions are malformed; *newer*
+        # versions load best-effort — known record kinds parse, unknown
+        # ones are skipped below with a counted warning.
+        if not isinstance(version, int) or version < SCHEMA_VERSION:
+            raise ReproError(
+                f"{path}: unsupported trace version {version!r}"
+            )
+        warnings.warn(
+            UnknownTraceRecordWarning(
+                f"{path}: trace version {version} is newer than this "
+                f"reader (v{SCHEMA_VERSION}); loading best-effort"
+            ),
+            stacklevel=2,
         )
     data.meta = header.get("meta", {})
     data.version = header["version"]
 
+    unknown_kinds: dict = {}
     for ev in events[1:]:
         kind = ev.get("event")
         try:
@@ -184,6 +248,27 @@ def read_trace(
                         attrs=ev.get("attrs", {}),
                     )
                 )
+            elif kind == "counter_sample":
+                if ev.get("type", "counter") != "counter":
+                    # A future sample family (e.g. distributions): skip
+                    # it like any other unknown record type.
+                    data.skipped_records += 1
+                    unknown_kinds[f"counter_sample/{ev.get('type')!r}"] = (
+                        unknown_kinds.get(
+                            f"counter_sample/{ev.get('type')!r}", 0
+                        )
+                        + 1
+                    )
+                else:
+                    data.samples.append(
+                        CounterSample(
+                            name=ev["name"],
+                            ts_ns=int(ev["ts_ns"]),
+                            value=float(ev["value"]),
+                            unit=ev.get("unit", ""),
+                            pid=ev.get("pid"),
+                        )
+                    )
             elif kind == "counter":
                 data.counters[ev["name"]] = ev["value"]
             elif kind == "gauge":
@@ -202,9 +287,24 @@ def read_trace(
                     )
                 data.complete = True
             else:
-                raise ReproError(f"{path}: unknown event kind {kind!r}")
+                # Unknown record kind: a newer writer's schema.  Skip
+                # with accounting instead of raising, so old readers
+                # never brick on new record types.
+                data.skipped_records += 1
+                unknown_kinds[str(kind)] = unknown_kinds.get(str(kind), 0) + 1
         except KeyError as exc:
             raise ReproError(f"{path}: malformed {kind} event: {exc}") from exc
+    if unknown_kinds:
+        detail = ", ".join(
+            f"{kind} ×{n}" for kind, n in sorted(unknown_kinds.items())
+        )
+        warnings.warn(
+            UnknownTraceRecordWarning(
+                f"{path}: skipped {data.skipped_records} record(s) of "
+                f"unknown kind ({detail}) — written by a newer schema?"
+            ),
+            stacklevel=2,
+        )
     if require_complete and not data.complete:
         raise ReproError(
             f"{path}: trace has no end trailer (truncated export?)"

@@ -40,12 +40,24 @@ from typing import Any
 from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
 from repro.util.timing import Timer
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "as_tracer"]
+__all__ = [
+    "Span",
+    "CounterSample",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "as_tracer",
+]
 
 #: Version of the span/trace event schema emitted by the sinks.
 #: v2 added per-span ``pid``/``tid``/``epoch_ns`` so multi-process
 #: traces (worker flight-recorder lanes) align on one clock.
-SCHEMA_VERSION = 2
+#: v3 added **counter events** (``{"event": "counter_sample", "type":
+#: "counter", ...}`` records interleaved with spans): timestamped
+#: time-series samples from the live-telemetry sampler
+#: (:mod:`repro.obs.telemetry`), exported as Perfetto counter tracks.
+#: v1/v2 traces still load; readers skip unknown record types.
+SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -102,6 +114,27 @@ class Span:
     @property
     def duration_s(self) -> float:
         return self.duration_ns / 1e9
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One timestamped value of a counter time series (schema v3).
+
+    Unlike the end-of-run metric snapshot (one aggregate value per
+    counter), counter samples are a *time series*: the telemetry
+    sampler records one per sampling tick, so resource usage (anonymous
+    RSS, GC collections, spill bytes) becomes a curve over the run
+    rather than a single total.  ``ts_ns`` shares the owning tracer's
+    monotonic clock, making samples directly comparable to span
+    windows; ``unit`` is a display hint (``"MiB"``, ``"bytes"``,
+    ``"count"``); ``pid`` is the sampling process.
+    """
+
+    name: str
+    ts_ns: int
+    value: float
+    unit: str = ""
+    pid: int | None = None
 
 
 class _SpanHandle:
@@ -166,6 +199,11 @@ class Tracer:
 
     def __init__(self) -> None:
         self.spans: list[Span] = []
+        #: Counter time-series samples (schema v3), in record order.
+        #: Appended by the telemetry sampler's background thread —
+        #: ``list.append`` is atomic under the GIL, so no lock is
+        #: needed between the sampler and the exporting main thread.
+        self.counter_samples: list[CounterSample] = []
         self.metrics = MetricsRegistry()
         #: Monotonic-clock epoch stamped on every span this tracer
         #: records; worker lanes recorded against the same machine clock
@@ -234,6 +272,31 @@ class Tracer:
         self.spans.append(span)
         return span
 
+    def record_counter(
+        self,
+        name: str,
+        value: float,
+        *,
+        ts_ns: int | None = None,
+        unit: str = "",
+        pid: int | None = None,
+    ) -> CounterSample:
+        """Append one counter time-series sample (schema v3).
+
+        ``ts_ns`` defaults to *now* on this tracer's monotonic clock.
+        Thread-safe with respect to span recording: the sample list is
+        append-only and exported snapshots take a copy.
+        """
+        sample = CounterSample(
+            name=name,
+            ts_ns=time.monotonic_ns() if ts_ns is None else int(ts_ns),
+            value=float(value),
+            unit=unit,
+            pid=os.getpid() if pid is None else int(pid),
+        )
+        self.counter_samples.append(sample)
+        return sample
+
     @property
     def current(self) -> Span | None:
         """The innermost open span, if any."""
@@ -288,6 +351,7 @@ class NullTracer:
 
     enabled = False
     spans: tuple = ()
+    counter_samples: tuple = ()
     epoch_ns = 0
 
     def __init__(self) -> None:
@@ -297,6 +361,9 @@ class NullTracer:
         return _NULL_HANDLE
 
     def record_span(self, name: str, **_kw: Any) -> None:
+        return None
+
+    def record_counter(self, name: str, value: float, **_kw: Any) -> None:
         return None
 
     @property

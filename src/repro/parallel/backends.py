@@ -401,6 +401,14 @@ class ShardedBackend(SerialBackend):
             previous.cleanup()
         return store.as_graph()
 
+    @property
+    def open_level_stores(self) -> int:
+        """Level stores currently held open (0 or 1 by construction —
+        :meth:`prepare_level` drops the previous store once the new one
+        is durable).  The telemetry sampler exports this as a counter
+        track so a store leak shows up as a climbing series."""
+        return 1 if self._store is not None else 0
+
     def release(self) -> None:
         """Drop the current spill store (and a private temp directory).
 

@@ -53,6 +53,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.obs.telemetry import record_worker_heartbeat
 from repro.obs.trace import NullTracer, Tracer, as_tracer
 from repro.parallel.chunks import chunk_ranges
 from repro.platform.kernels import TraceRecorder
@@ -425,6 +426,11 @@ class SharedArrayPool:
                 )
                 fl = payload.get("flight")
                 if fl is not None:
+                    # Every flight record doubles as a worker heartbeat
+                    # for the live-telemetry sampler — no extra queue
+                    # traffic, and the untraced path (no queue) pays
+                    # nothing.
+                    record_worker_heartbeat(fl["pid"])
                     # The worker's self-measured exec window becomes a
                     # per-worker trace lane (pid = worker process).
                     tr.record_span(

@@ -52,7 +52,6 @@ the phase so the RSS sample sees it.
 from __future__ import annotations
 
 import os
-import sys
 import time
 import warnings
 from typing import TYPE_CHECKING, Any
@@ -64,6 +63,7 @@ from repro.resilience.faults import FaultPlan
 from repro.resilience.invariants import InvariantAuditor
 from repro.resilience.report import RecoveryReport
 from repro.util.log import get_logger
+from repro.util.memprobe import rss_anon_mb, trim_memory
 
 if TYPE_CHECKING:  # engine imports this module; never the reverse at runtime
     from repro.core.engine import RunContext
@@ -84,74 +84,11 @@ LADDER_RUNGS = ("serial-backend", "halve-chunks", "lower-audit", "abort")
 MAX_CHUNKS_PER_WORKER = 64
 
 
-def _rss_mb() -> float | None:
-    """Resident memory charged to this process in MiB (``None`` if unknown).
-
-    Probes, best first:
-
-    1. ``RssAnon`` from ``/proc/self/status`` — *anonymous* resident
-       pages only.  This is the quantity the memory budget is meant to
-       bound: file-backed pages (e.g. the sharded store's memmaps) are
-       evictable by the OS at will, so counting them would keep a run
-       "over budget" even after the spill rung has moved its working set
-       onto disk.
-    2. Total RSS from ``/proc/self/statm`` — older kernels without the
-       split accounting.
-    3. ``ru_maxrss`` from ``getrusage`` — the non-Linux fallback.  A
-       high-water mark rather than an instantaneous sample, and the unit
-       is platform-dependent: bytes on macOS, kilobytes on Linux and the
-       BSDs.
-    """
-    try:
-        with open("/proc/self/status", "rb") as fh:
-            for line in fh:
-                if line.startswith(b"RssAnon:"):
-                    return int(line.split()[1]) / 1024.0  # kB
-    except (OSError, IndexError, ValueError):
-        pass
-    try:
-        with open("/proc/self/statm", "rb") as fh:
-            resident_pages = int(fh.read().split()[1])
-        return resident_pages * os.sysconf("SC_PAGE_SIZE") / (1024 * 1024)
-    except (OSError, IndexError, ValueError):
-        pass
-    try:
-        import resource
-
-        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-        if rss <= 0:  # pragma: no cover - degenerate platform value
-            return None
-        if sys.platform == "darwin":  # pragma: no cover - macOS only
-            return rss / (1024 * 1024)
-        return rss / 1024
-    except Exception:  # pragma: no cover - platform without getrusage
-        return None
-
-
-def _trim_memory() -> None:
-    """Best-effort: hand freed allocator pages back to the OS.
-
-    glibc retains free()d arena memory indefinitely, so an RSS sample
-    taken after a large phase can stay inflated by memory that is
-    *gone* from the program's perspective.  Collecting cycles and
-    calling ``malloc_trim`` first makes the memory guard judge live
-    memory, not allocator history — in particular, after the spill rung
-    migrates a run out of core, the retired in-memory working set
-    actually leaves the resident set instead of re-breaching the budget
-    every phase.  No-op where ``malloc_trim`` does not exist.
-    """
-    import gc
-
-    gc.collect()
-    try:
-        import ctypes
-        import ctypes.util
-
-        name = ctypes.util.find_library("c")
-        if name:
-            ctypes.CDLL(name, use_errno=True).malloc_trim(0)
-    except Exception:  # pragma: no cover - non-glibc platforms
-        pass
+# Shared probe implementations live in repro.util.memprobe (the
+# telemetry sampler uses the same ladder); these aliases keep the
+# guardian's historical monkeypatch/import surface stable.
+_rss_mb = rss_anon_mb
+_trim_memory = trim_memory
 
 
 class _PhaseGuard:
@@ -227,9 +164,53 @@ class _PhaseGuard:
                             f"after phase {self._phase!r}"
                         ),
                     )
+                elif rss is not None:
+                    self._check_ramp(rss)
             return False
         finally:
             self._ballast = None
+
+    def _check_ramp(self, rss: float) -> None:
+        """Predictive memory guard: breach on trajectory, not level.
+
+        Consumes the live-telemetry sampler's RSS ring buffer: when the
+        recent ramp rate extrapolated over ``ramp_horizon_s`` crosses
+        the budget, fire a ``memory_ramp`` breach *now* — the spill
+        rung then migrates the run out of core while there is still
+        headroom to do so, instead of waiting for the hard breach (by
+        which point the spill itself may not fit).  Inert without an
+        enabled sampler (the ring is the only data source) and after
+        the run has already spilled.
+        """
+        g = self._g
+        if g.ramp_horizon_s is None or g.memory_budget_mb is None:
+            return
+        if g._spilled:
+            # The prediction's one job was buying time for the spill;
+            # once out of core only the *hard* budget check matters —
+            # a stale ramp estimate must not walk the regular ladder.
+            return
+        ctx = g._ctx
+        telemetry = getattr(ctx, "telemetry", None) if ctx is not None else None
+        if telemetry is None or not getattr(telemetry, "enabled", False):
+            return
+        ramp = telemetry.ramp_mb_s()
+        if ramp is None or ramp <= 0:
+            return
+        predicted = rss + ramp * g.ramp_horizon_s
+        if predicted <= g.memory_budget_mb:
+            return
+        g._breach(
+            "memory_ramp",
+            self._level,
+            phase=self._phase,
+            detail=(
+                f"rss {rss:.1f} MiB climbing at {ramp:.1f} MiB/s would "
+                f"cross the {g.memory_budget_mb:.1f} MiB budget within "
+                f"{g.ramp_horizon_s:.1f}s (predicted {predicted:.1f} MiB) "
+                f"after phase {self._phase!r}"
+            ),
+        )
 
 
 class RunGuardian:
@@ -246,6 +227,13 @@ class RunGuardian:
     memory_budget_mb:
         Resident-set ceiling in MiB sampled after each phase; ``None``
         disables the memory guard.
+    ramp_horizon_s:
+        Predictive lookahead for the memory guard: when a live-telemetry
+        sampler is attached to the run, a breach fires as soon as the
+        sampled RSS ramp rate would cross the budget within this many
+        seconds — spilling *before* the hard ceiling is hit.  ``None``
+        disables prediction; without a sampler the guard is purely
+        reactive either way.
     stall_passes / stall_merge_fraction:
         A matching breaches the stall detector when it needed at least
         ``stall_passes`` worklist passes yet merged at most
@@ -275,6 +263,7 @@ class RunGuardian:
         *,
         phase_deadline_s: float | None = None,
         memory_budget_mb: float | None = None,
+        ramp_horizon_s: float | None = 10.0,
         stall_passes: int = 128,
         stall_merge_fraction: float = 0.02,
         tolerance: float = 1e-6,
@@ -287,6 +276,8 @@ class RunGuardian:
             raise ValueError("phase_deadline_s must be positive")
         if memory_budget_mb is not None and memory_budget_mb <= 0:
             raise ValueError("memory_budget_mb must be positive")
+        if ramp_horizon_s is not None and ramp_horizon_s <= 0:
+            raise ValueError("ramp_horizon_s must be positive")
         if stall_passes < 1:
             raise ValueError("stall_passes must be >= 1")
         if not 0.0 <= stall_merge_fraction <= 1.0:
@@ -296,6 +287,7 @@ class RunGuardian:
         )
         self.phase_deadline_s = phase_deadline_s
         self.memory_budget_mb = memory_budget_mb
+        self.ramp_horizon_s = ramp_horizon_s
         if spill_shards is not None and spill_shards < 1:
             raise ValueError("spill_shards must be >= 1")
         self.stall_passes = stall_passes
@@ -426,7 +418,12 @@ class RunGuardian:
     ) -> None:
         """Apply the first applicable remaining ladder rung."""
         ctx = self._require_ctx()
-        if self.spill_dir is not None and kind == "memory_budget":
+        # A predicted ramp breach is a memory breach: same remedy, taken
+        # earlier — before the hard ceiling is crossed.
+        if self.spill_dir is not None and kind in (
+            "memory_budget",
+            "memory_ramp",
+        ):
             if not self._spilled and not getattr(
                 ctx.backend, "sharded", False
             ):

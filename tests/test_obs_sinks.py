@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import ReproError
 from repro.obs.sinks import (
+    UnknownTraceRecordWarning,
     phase_totals,
     read_trace,
     render_profile,
@@ -85,6 +86,50 @@ class TestRoundTrip:
         data = read_trace(path)
         assert len(data.find("contract")) == 3
 
+    def test_counter_samples_survive(self, tmp_path):
+        tr = make_tracer()
+        tr.record_counter("rss_anon_mb", 12.5, ts_ns=100, unit="MiB")
+        tr.record_counter("rss_anon_mb", 13.0, ts_ns=200, unit="MiB")
+        path = tmp_path / "t.jsonl"
+        write_trace(tr, path)
+        data = read_trace(path)
+        series = data.sample_series("rss_anon_mb")
+        assert [(s.ts_ns, s.value) for s in series] == [
+            (100, 12.5),
+            (200, 13.0),
+        ]
+        assert all(s.unit == "MiB" for s in series)
+
+    def test_unknown_record_kinds_skipped_with_warning(self, tmp_path):
+        # Forward compatibility within a known version: record kinds
+        # this reader has never heard of are skipped and counted, and
+        # the file still loads.
+        tr = make_tracer(1)
+        path = tmp_path / "t.jsonl"
+        write_trace(tr, path)
+        lines = path.read_text().splitlines()
+        lines.insert(1, json.dumps({"event": "wibble", "x": 1}))
+        lines.insert(2, json.dumps({"event": "wibble", "x": 2}))
+        lines.insert(
+            3,
+            json.dumps(
+                {
+                    "event": "counter_sample",
+                    "type": "flamegraph",  # unknown inner type
+                    "name": "n",
+                    "ts_ns": 1,
+                    "value": 0,
+                }
+            ),
+        )
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.warns(UnknownTraceRecordWarning, match="wibble"):
+            data = read_trace(path)
+        assert data.complete
+        assert data.skipped_records == 3
+        assert len(data.spans) == len(tr.spans)
+        assert data.samples == []
+
 
 class TestReadErrors:
     def test_missing_file(self, tmp_path):
@@ -109,11 +154,29 @@ class TestReadErrors:
         with pytest.raises(ReproError, match="not a repro-run-trace"):
             read_trace(p)
 
-    def test_wrong_version(self, tmp_path):
+    def test_newer_version_loads_best_effort(self, tmp_path):
+        # Forward compatibility: a v99 header warns but does not refuse.
         p = tmp_path / "t.jsonl"
         p.write_text(
             json.dumps(
                 {"event": "header", "schema": "repro-run-trace", "version": 99}
+            )
+            + "\n"
+        )
+        with pytest.warns(UnknownTraceRecordWarning, match="newer than"):
+            data = read_trace(p)
+        assert data.version == 99
+        assert data.spans == []
+
+    def test_non_integer_version_rejected(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        p.write_text(
+            json.dumps(
+                {
+                    "event": "header",
+                    "schema": "repro-run-trace",
+                    "version": "zzz",
+                }
             )
             + "\n"
         )
@@ -308,8 +371,8 @@ class TestSchemaV2:
         assert span.tid is None
         assert span.epoch_ns == 0
 
-    def test_written_meta_declares_v2(self, tmp_path):
+    def test_written_meta_declares_v3(self, tmp_path):
         path = tmp_path / "t.jsonl"
         write_trace(make_tracer(1), path)
         meta = json.loads(path.read_text().splitlines()[0])
-        assert meta["version"] == SCHEMA_VERSION == 2
+        assert meta["version"] == SCHEMA_VERSION == 3
