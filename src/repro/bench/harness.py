@@ -10,13 +10,14 @@ per point (§V: "each experiment is run three times").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.agglomeration import AgglomerationResult, detect_communities
 from repro.core.scoring import EdgeScorer
 from repro.core.termination import TerminationCriteria
+from repro.core.tuner import SelectorPolicy
 from repro.graph.graph import CommunityGraph
 from repro.obs.memprof import NullMemoryProfiler, PhaseMemoryProfiler
 from repro.obs.sinks import phase_totals
@@ -99,8 +100,9 @@ def run_with_trace(
     graph_name: str = "graph",
     scorer: EdgeScorer | None = None,
     termination: TerminationCriteria | None = None,
-    matcher: Literal["worklist", "sweep"] = "worklist",
-    contractor: Literal["bucket", "chains"] = "bucket",
+    matcher: str = "worklist",
+    contractor: str = "bucket",
+    selector: "SelectorPolicy | None" = None,
     tracer: Tracer | NullTracer | None = None,
     timeline: QualityTimeline | NullTimeline | None = None,
     checkpoint_dir: str | None = None,
@@ -139,6 +141,7 @@ def run_with_trace(
             termination=termination,
             matcher=matcher,
             contractor=contractor,
+            selector=selector,
             recorder=recorder,
             tracer=tr,
             timeline=timeline,

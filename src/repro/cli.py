@@ -5,6 +5,7 @@ Subcommands::
     python -m repro detect    # cluster a graph file, write communities
     python -m repro generate  # write an R-MAT / planted / webgraph file
     python -m repro info      # print size/degree statistics of a graph
+    python -m repro kernels   # list registered kernels + capability metadata
     python -m repro bench     # regenerate a paper exhibit (table1..figure3)
     python -m repro report    # render a run trace (+ ledger) to Markdown/HTML
     python -m repro trend     # metric trajectory across BENCH_*.json ledgers
@@ -30,6 +31,7 @@ from repro.baselines import (
     louvain_communities,
 )
 from repro.core import (
+    AUTO_KERNEL,
     TerminationCriteria,
     create_kernel,
     detect_communities,
@@ -193,6 +195,23 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
     if args.algorithm == "parallel":
         scorer = create_kernel("scorer", args.scorer)
+        # --tuner-table swaps the calibrated coefficients behind the
+        # auto-selection policy; it only matters when a phase is "auto".
+        selector = None
+        if args.tuner_table:
+            from repro.core.tuner import CostModelPolicy, load_cost_table
+
+            if AUTO_KERNEL not in (args.matcher, args.contractor):
+                print(
+                    "note: --tuner-table has no effect without "
+                    "--matcher auto / --contractor auto",
+                    file=sys.stderr,
+                )
+            try:
+                selector = CostModelPolicy(load_cost_table(args.tuner_table))
+            except (OSError, ValueError) as exc:
+                print(f"error: --tuner-table: {exc}", file=sys.stderr)
+                return 2
         # --spill-dir without an explicit directory (i.e. --memory-budget
         # alone) still spills somewhere: a memory breach must land on the
         # spill rung, not on abort.
@@ -273,6 +292,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                     termination=termination,
                     matcher=args.matcher,
                     contractor=args.contractor,
+                    selector=selector,
                     tracer=tracer,
                     checkpoint_dir=args.checkpoint_dir,
                     resume=args.resume,
@@ -328,6 +348,21 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             f"terminated by {result.terminated_by}",
             file=sys.stderr,
         )
+        if result.tuner is not None:
+            picks = "; ".join(
+                f"{kind}: "
+                + ", ".join(
+                    f"{name}×{n}" for name, n in sorted(counts.items())
+                )
+                for kind, counts in sorted(
+                    (result.tuner.get("selected") or {}).items()
+                )
+            )
+            print(
+                f"tuner ({result.tuner.get('policy', '?')}): "
+                f"{picks or 'no decisions'}",
+                file=sys.stderr,
+            )
         if args.checkpoint_dir or result.recovery.any_recovery():
             print(
                 f"resilience: {result.recovery.summary()}", file=sys.stderr
@@ -464,6 +499,51 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------- kernels
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import format_table
+    from repro.core import KERNEL_KINDS, kernel_catalog
+
+    kinds = [args.kind] if args.kind else list(KERNEL_KINDS)
+    first = True
+    for kind in kinds:
+        infos = kernel_catalog(kind)
+        if not first:
+            print()
+        first = False
+        rows = [
+            [
+                i.name,
+                "yes" if i.supports_sharded else "no",
+                "yes" if i.deterministic else "no",
+                ",".join(i.cost_features),
+                i.regime or "-",
+                i.description or "-",
+            ]
+            for i in infos
+        ]
+        print(
+            format_table(
+                [
+                    "name",
+                    "sharded",
+                    "deterministic",
+                    "cost features",
+                    "regime",
+                    "description",
+                ],
+                rows,
+                title=f"{kind}s ({len(infos)} registered)",
+            )
+        )
+    print(
+        "\nPass --matcher/--contractor auto to let the per-level tuner "
+        "choose among these (docs/TUNING.md).",
+        file=sys.stderr,
+    )
+    return 0
+
+
 # ------------------------------------------------------------------ bench
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
@@ -524,6 +604,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.bench.ledger import (
         compare_ledgers,
+        config_drift,
         read_ledger,
         render_comparison,
     )
@@ -535,6 +616,30 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    drift = config_drift(base, new)
+    if drift:
+        if not args.ignore_config:
+            print(
+                "error: the ledgers were produced by different "
+                "kernel/tuner configurations — a timing diff between "
+                "them compares different code, not a regression:",
+                file=sys.stderr,
+            )
+            for line in drift:
+                print(f"  {line}", file=sys.stderr)
+            print(
+                "(re-run the benchmark with matching --matcher/"
+                "--contractor/--scorer, or pass --ignore-config to "
+                "diff anyway)",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            "warning: comparing across config drift (--ignore-config):",
+            file=sys.stderr,
+        )
+        for line in drift:
+            print(f"  {line}", file=sys.stderr)
     cmp = compare_ledgers(
         base,
         new,
@@ -714,10 +819,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--scorer", default="modularity", choices=kernel_names("scorer")
     )
     p.add_argument(
-        "--matcher", default="worklist", choices=kernel_names("matcher")
+        "--matcher",
+        default="worklist",
+        choices=[*kernel_names("matcher"), AUTO_KERNEL],
+        help="matching kernel, or 'auto' to pick per level via the "
+        "tuner (see docs/TUNING.md)",
     )
     p.add_argument(
-        "--contractor", default="bucket", choices=kernel_names("contractor")
+        "--contractor",
+        default="bucket",
+        choices=[*kernel_names("contractor"), AUTO_KERNEL],
+        help="contraction kernel, or 'auto' to pick per level via the "
+        "tuner (see docs/TUNING.md)",
+    )
+    p.add_argument(
+        "--tuner-table",
+        metavar="PATH",
+        default=None,
+        help="cost-table JSON for --matcher/--contractor auto (a bare "
+        "table or a BENCH_kernels.json shootout ledger; default: the "
+        "built-in table calibrated by bench/shootout.py)",
     )
     p.add_argument(
         "--coverage",
@@ -875,6 +996,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10, help="communities to list")
     p.set_defaults(func=_cmd_analyze)
 
+    p = sub.add_parser(
+        "kernels",
+        help="list registered kernels with capability metadata",
+        description="List every kernel registered under each phase kind "
+        "(scorer/matcher/contractor) with its capability descriptor: "
+        "sharded-capability (eligible after an out-of-core spill), "
+        "determinism, the cost-model features the auto-tuner uses, and "
+        "its preferred regime.  This is the candidate pool "
+        "--matcher/--contractor auto selects from per level.",
+    )
+    p.add_argument(
+        "--kind",
+        default=None,
+        choices=["scorer", "matcher", "contractor"],
+        help="restrict the listing to one phase kind",
+    )
+    p.set_defaults(func=_cmd_kernels)
+
     p = sub.add_parser("bench", help="regenerate a paper exhibit")
     p.add_argument(
         "exhibit",
@@ -935,6 +1074,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.02,
         help="absolute final-modularity drop allowed (default 0.02)",
+    )
+    p.add_argument(
+        "--ignore-config",
+        action="store_true",
+        help="diff even when the ledgers' kernel/tuner configs differ "
+        "(by default config drift is an error, exit 2)",
     )
     p.set_defaults(func=_cmd_compare)
 

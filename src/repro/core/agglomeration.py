@@ -20,7 +20,9 @@ The kernels are selectable so the benchmark ablations can run the paper's
 legacy variants: ``matcher`` in ``{"worklist", "sweep"}`` (§IV-B new/old)
 and ``contractor`` in ``{"bucket", "chains"}`` (§IV-C new/old).  Legacy
 variants compute identical results but record the execution profile that
-distinguishes the platforms.
+distinguishes the platforms.  Passing ``"auto"`` for either defers the
+choice to the per-level tuner (:mod:`repro.core.tuner`), which picks
+from the full registered candidate pool each level.
 """
 
 from __future__ import annotations
@@ -36,6 +38,7 @@ from repro.core.engine import (
 )
 from repro.core.scoring import EdgeScorer
 from repro.core.termination import TerminationCriteria
+from repro.core.tuner import SelectorPolicy
 from repro.graph.graph import CommunityGraph
 from repro.obs.memprof import NullMemoryProfiler, PhaseMemoryProfiler
 from repro.obs.telemetry import NullTelemetry, TelemetrySampler
@@ -58,6 +61,7 @@ def detect_communities(
     termination: TerminationCriteria | None = None,
     matcher: str = "worklist",
     contractor: str = "bucket",
+    selector: SelectorPolicy | None = None,
     recorder: TraceRecorder | None = None,
     tracer: Tracer | NullTracer | None = None,
     timeline: QualityTimeline | NullTimeline | None = None,
@@ -92,7 +96,13 @@ def detect_communities(
         coverage ≥ 0.5 experiment configuration.
     matcher, contractor:
         Kernel variants by registry name (legacy variants for the
-        ablation benchmarks), or raw kernel callables.
+        ablation benchmarks), raw kernel callables, or ``"auto"`` to
+        pick per level via the tuner (:mod:`repro.core.tuner`).
+    selector:
+        Selection policy for ``"auto"`` phases — any
+        :class:`~repro.core.tuner.SelectorPolicy`; ``None`` uses the
+        shootout-calibrated :class:`~repro.core.tuner.CostModelPolicy`.
+        Ignored when neither kernel is ``"auto"``.
     recorder:
         Optional :class:`TraceRecorder` collecting the execution trace for
         platform simulation.
@@ -158,6 +168,7 @@ def detect_communities(
         matcher=matcher,
         contractor=contractor,
         termination=termination,
+        selector=selector,
     )
     ctx = RunContext.create(
         tracer=tracer,

@@ -1,0 +1,479 @@
+"""Per-level adaptive kernel selection: shape features, cost model, tuner.
+
+The hot path of the pipeline moves with graph shape: the paper
+attributes 40–80 % of runtime to contraction, while this repo's own
+attribution ledger shows *matching* dominating at small scale — and Lu &
+Halappanavar observe the same heuristic-dependent crossover between
+phases.  One kernel per run is therefore the wrong granularity.  This
+module picks the kernel **per level**, from cheap shape features of the
+community graph entering that level:
+
+* :class:`LevelShape` / :func:`level_shape` — ``n_vertices``,
+  ``n_edges``, density and the degree coefficient of variation computed
+  from the CSR row lengths (one ``O(E)`` bincount, amortized by the
+  ``O(E)`` scoring pass that follows it);
+* a **cost table** mapping each registered kernel to linear-model
+  coefficients over those features (seconds =
+  ``c · [1, E, V, E·cv]``), shipped pre-calibrated from the
+  ``bench/shootout.py`` sweep and re-fittable on any host
+  (:func:`fit_cost_table`, ``python -m repro.bench.shootout``);
+* pluggable selection policies — :class:`CostModelPolicy` (default:
+  argmin of predicted seconds) and :class:`StaticPolicy` (a fixed
+  static table, the degenerate tuner) behind one ``select`` protocol;
+* :class:`KernelTuner` — the engine-facing seam: builds the candidate
+  pool from the registry's :class:`~repro.core.registry.KernelInfo`
+  capability metadata (constrained to ``supports_sharded`` kernels once
+  the run has spilled), applies the policy, caches instantiated
+  kernels, and ledgers every :class:`TunerDecision` so
+  ``repro report`` / ``repro compare`` can explain a regression by what
+  was selected, not just how long it took.
+
+Selection never changes results: every registered matcher produces the
+identical matching and every contractor the identical contracted graph
+(the registry's standing bit-parity contract, enforced in
+``tests/test_engine_parity.py``), so the tuner only moves the
+time-to-result.  See docs/TUNING.md.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.core.registry import create_kernel, kernel_catalog, kernel_info
+from repro.graph.graph import CommunityGraph
+
+__all__ = [
+    "COST_FEATURES",
+    "AUTO_KERNEL",
+    "DEFAULT_COST_TABLE",
+    "LevelShape",
+    "level_shape",
+    "SelectorPolicy",
+    "CostModelPolicy",
+    "StaticPolicy",
+    "TunerDecision",
+    "KernelTuner",
+    "load_cost_table",
+    "fit_cost_table",
+]
+
+#: The registry/CLI name that requests per-level auto-selection.
+AUTO_KERNEL = "auto"
+
+#: Feature names a cost-table coefficient vector may span, in canonical
+#: order.  ``const`` is the intercept, ``edges``/``vertices`` the level's
+#: community-graph sizes, ``edges_x_cv`` the skew-sensitive interaction
+#: term (edge count × degree coefficient of variation) that separates
+#: chain-walk- and pass-count-sensitive kernels from oblivious ones.
+COST_FEATURES = ("const", "edges", "vertices", "edges_x_cv")
+
+
+# ------------------------------------------------------------------ shape
+@dataclass(frozen=True)
+class LevelShape:
+    """Cheap shape statistics of the community graph entering one level."""
+
+    n_vertices: int
+    n_edges: int
+    density: float
+    degree_cv: float
+
+    def features(self) -> dict[str, float]:
+        """Feature values keyed by :data:`COST_FEATURES` name."""
+        return {
+            "const": 1.0,
+            "edges": float(self.n_edges),
+            "vertices": float(self.n_vertices),
+            "edges_x_cv": float(self.n_edges) * self.degree_cv,
+        }
+
+    def as_dict(self) -> dict:
+        return {
+            "n_vertices": self.n_vertices,
+            "n_edges": self.n_edges,
+            "density": self.density,
+            "degree_cv": self.degree_cv,
+        }
+
+
+def level_shape(graph: CommunityGraph) -> LevelShape:
+    """Measure a :class:`LevelShape` from the CSR row lengths.
+
+    One pass over the edge arrays (the same asymptotic cost as the
+    scoring phase that immediately follows every selection), no
+    allocation beyond the ``O(V)`` degree vector.
+    """
+    n = graph.n_vertices
+    m = graph.n_edges
+    density = 2.0 * m / (n * (n - 1)) if n > 1 else 0.0
+    degree_cv = 0.0
+    if n > 0 and m > 0:
+        deg = graph.edges.degrees().astype(np.float64)
+        mean = float(deg.mean())
+        if mean > 0:
+            degree_cv = float(deg.std()) / mean
+    return LevelShape(
+        n_vertices=n, n_edges=m, density=density, degree_cv=degree_cv
+    )
+
+
+# ------------------------------------------------------------- cost table
+#: Static cost table the default policy ships with, fitted by
+#: ``python -m repro.bench.shootout --fit-out`` over the RMAT/SBM/BA
+#: suite (per-level phase seconds regressed on the level's shape
+#: features; see docs/TUNING.md for the recalibration recipe).
+#: Coefficients are seconds per feature unit, aligned with each
+#: kernel's declared ``cost_features``.
+DEFAULT_COST_TABLE: dict = {
+    "version": 1,
+    "features": list(COST_FEATURES),
+    "source": "bench/shootout.py scale=1 seed=1 (sbm+ba+rmat)",
+    "coefficients": {
+        "matcher": {
+            "worklist": {
+                "const": 1.913476e-03,
+                "edges": -5.001020e-06,
+                "vertices": 3.333605e-06,
+                "edges_x_cv": 5.017266e-06,
+            },
+            "sweep": {
+                "const": 6.999416e-03,
+                "edges": -2.071058e-05,
+                "vertices": 1.086923e-05,
+                "edges_x_cv": 2.066572e-05,
+            },
+            "gmm": {
+                "const": 3.499073e-03,
+                "edges": -7.478725e-06,
+                "vertices": 5.454292e-06,
+                "edges_x_cv": 7.678970e-06,
+            },
+        },
+        "contractor": {
+            "bucket": {
+                "const": 4.377754e-05,
+                "edges": 1.956566e-07,
+                "vertices": 1.822896e-07,
+            },
+            "chains": {
+                "const": 3.114106e-04,
+                "edges": 9.307635e-08,
+                "vertices": 6.575650e-07,
+                "edges_x_cv": 3.111651e-07,
+            },
+            "shard": {
+                "const": 2.975892e-04,
+                "edges": 1.991204e-07,
+                "vertices": 2.361426e-07,
+            },
+            "spmatrix": {
+                "const": -1.135358e-03,
+                "edges": 1.042530e-06,
+                "vertices": 4.443321e-06,
+            },
+        },
+    },
+}
+
+
+def _validate_table(table: Mapping) -> dict:
+    """Validate a cost table's shape; returns it as a plain dict."""
+    if not isinstance(table, Mapping):
+        raise ValueError("cost table must be a mapping")
+    version = table.get("version")
+    if version != 1:
+        raise ValueError(f"unsupported cost-table version {version!r}")
+    features = table.get("features")
+    if not isinstance(features, (list, tuple)) or not set(features) <= set(
+        COST_FEATURES
+    ):
+        raise ValueError(
+            f"cost-table features must be a subset of {COST_FEATURES}"
+        )
+    coeffs = table.get("coefficients")
+    if not isinstance(coeffs, Mapping):
+        raise ValueError("cost table has no 'coefficients' mapping")
+    for kind, kernels in coeffs.items():
+        if not isinstance(kernels, Mapping):
+            raise ValueError(f"cost-table kind {kind!r} is not a mapping")
+        for name, vec in kernels.items():
+            if not isinstance(vec, Mapping):
+                raise ValueError(
+                    f"coefficients for {kind}/{name} must map feature->value"
+                )
+            bad = set(vec) - set(COST_FEATURES)
+            if bad:
+                raise ValueError(
+                    f"coefficients for {kind}/{name} use unknown "
+                    f"feature(s) {sorted(bad)}"
+                )
+            for feat, value in vec.items():
+                if not isinstance(value, (int, float)) or not math.isfinite(
+                    value
+                ):
+                    raise ValueError(
+                        f"non-finite coefficient {kind}/{name}/{feat}"
+                    )
+    return dict(table)
+
+
+def load_cost_table(source: str | os.PathLike | Mapping) -> dict:
+    """Load and validate a cost table from a JSON file (or a dict)."""
+    if isinstance(source, Mapping):
+        return _validate_table(source)
+    with open(source, "r", encoding="utf-8") as fh:
+        try:
+            data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{source}: not valid JSON: {exc}") from exc
+    # A shootout ledger embeds the table under config.cost_table; accept
+    # either the bare table or the ledger wrapping it.
+    if "coefficients" not in data and "config" in data:
+        data = (data.get("config") or {}).get("cost_table") or {}
+    return _validate_table(data)
+
+
+def fit_cost_table(
+    samples: Mapping[tuple[str, str], Sequence[tuple[LevelShape, float]]],
+    *,
+    source: str = "fit_cost_table",
+) -> dict:
+    """Least-squares fit of per-kernel cost coefficients.
+
+    ``samples`` maps ``(kind, kernel_name)`` to observed
+    ``(shape, seconds)`` pairs — the shootout harness collects one pair
+    per level per run.  Each kernel is regressed on the features its
+    registry :class:`~repro.core.registry.KernelInfo` declares
+    (falling back to all of :data:`COST_FEATURES` for unregistered
+    names), so a kernel whose runtime is skew-oblivious never picks up
+    a spurious skew term from a small sample.
+    """
+    coefficients: dict[str, dict[str, dict[str, float]]] = {}
+    for (kind, name), pairs in sorted(samples.items()):
+        if not pairs:
+            continue
+        try:
+            feats = tuple(kernel_info(kind, name).cost_features)
+        except ValueError:
+            feats = COST_FEATURES
+        feats = feats or COST_FEATURES
+        rows = np.array(
+            [[shape.features()[f] for f in feats] for shape, _s in pairs]
+        )
+        y = np.array([max(0.0, float(s)) for _shape, s in pairs])
+        coef, *_ = np.linalg.lstsq(rows, y, rcond=None)
+        coefficients.setdefault(kind, {})[name] = {
+            f: float(c) for f, c in zip(feats, coef)
+        }
+    return _validate_table(
+        {
+            "version": 1,
+            "features": list(COST_FEATURES),
+            "source": source,
+            "coefficients": coefficients,
+        }
+    )
+
+
+# --------------------------------------------------------------- policies
+@runtime_checkable
+class SelectorPolicy(Protocol):
+    """One per-level selection strategy.
+
+    ``select`` receives the phase kind, the level's shape, and the
+    already capability-filtered candidate names; it returns the chosen
+    name plus a per-candidate predicted-seconds map (``None`` for
+    candidates the policy cannot price).
+    """
+
+    name: str
+
+    def select(
+        self, kind: str, shape: LevelShape, candidates: Sequence[str]
+    ) -> tuple[str, dict[str, float | None]]:
+        ...  # pragma: no cover - protocol stub
+
+
+class CostModelPolicy:
+    """Argmin of the calibrated linear cost model (the default policy)."""
+
+    name = "cost-model"
+
+    def __init__(self, table: Mapping | None = None) -> None:
+        self.table = _validate_table(
+            table if table is not None else DEFAULT_COST_TABLE
+        )
+
+    def predict(
+        self, kind: str, kernel: str, shape: LevelShape
+    ) -> float | None:
+        """Predicted seconds for one kernel, ``None`` when untabulated."""
+        vec = (self.table["coefficients"].get(kind) or {}).get(kernel)
+        if vec is None:
+            return None
+        feats = shape.features()
+        return max(0.0, sum(c * feats[f] for f, c in vec.items()))
+
+    def select(
+        self, kind: str, shape: LevelShape, candidates: Sequence[str]
+    ) -> tuple[str, dict[str, float | None]]:
+        if not candidates:
+            raise ValueError(f"no {kind} candidates to select from")
+        predicted = {n: self.predict(kind, n, shape) for n in candidates}
+        priced = {n: p for n, p in predicted.items() if p is not None}
+        if priced:
+            # Sorted first so equal predictions break ties by name,
+            # deterministically, independent of registration order.
+            chosen = min(sorted(priced), key=lambda n: priced[n])
+        else:
+            chosen = sorted(candidates)[0]
+        return chosen, predicted
+
+
+class StaticPolicy:
+    """A fixed kind→kernel static table — the degenerate (zeroth) tuner.
+
+    Useful as the calibration baseline and for pinning one phase while
+    the other auto-tunes.  When the pinned kernel is filtered out of
+    the candidate pool (e.g. not sharded-capable after a spill), the
+    first candidate in name order is substituted rather than failing
+    the level.
+    """
+
+    name = "static"
+
+    def __init__(self, choices: Mapping[str, str] | None = None) -> None:
+        self.choices = dict(choices or {})
+
+    def select(
+        self, kind: str, shape: LevelShape, candidates: Sequence[str]
+    ) -> tuple[str, dict[str, float | None]]:
+        if not candidates:
+            raise ValueError(f"no {kind} candidates to select from")
+        pinned = self.choices.get(kind)
+        chosen = pinned if pinned in candidates else sorted(candidates)[0]
+        return chosen, {n: None for n in candidates}
+
+
+# ---------------------------------------------------------------- tuner
+@dataclass(frozen=True)
+class TunerDecision:
+    """One per-level, per-kind selection with its full rationale."""
+
+    level: int
+    kind: str
+    chosen: str
+    policy: str
+    constrained_sharded: bool
+    shape: LevelShape
+    candidates: tuple[str, ...] = ()
+    predicted_s: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "level": self.level,
+            "kind": self.kind,
+            "chosen": self.chosen,
+            "policy": self.policy,
+            "constrained_sharded": self.constrained_sharded,
+            "shape": self.shape.as_dict(),
+            "candidates": list(self.candidates),
+            "predicted_s": dict(self.predicted_s),
+        }
+
+
+class KernelTuner:
+    """The engine's selection seam: candidates → policy → kernel + ledger.
+
+    One instance serves one run (decisions accumulate; the engine
+    creates a fresh tuner per :meth:`~AgglomerationEngine.run`).
+    Instantiated kernels are cached by ``(kind, name)`` so re-selecting
+    the same kernel across levels does not re-invoke its factory.
+    """
+
+    def __init__(
+        self,
+        policy: SelectorPolicy | None = None,
+        *,
+        kinds: Iterable[str] = ("matcher", "contractor"),
+    ) -> None:
+        self.policy: SelectorPolicy = (
+            policy if policy is not None else CostModelPolicy()
+        )
+        self.kinds = tuple(kinds)
+        self.decisions: list[TunerDecision] = []
+        self._kernels: dict[tuple[str, str], object] = {}
+
+    def candidates(self, kind: str, *, sharded: bool = False) -> list[str]:
+        """Capability-filtered candidate names for one phase kind.
+
+        Once a run has spilled (``sharded=True``) only kernels whose
+        :class:`~repro.core.registry.KernelInfo` advertises
+        ``supports_sharded`` remain eligible — selecting anything else
+        would re-materialise the edge-length anonymous arrays the spill
+        just evicted.
+        """
+        infos = kernel_catalog(kind)
+        names = [
+            i.name for i in infos if not sharded or i.supports_sharded
+        ]
+        if not names:  # pragma: no cover - registry always has built-ins
+            names = [i.name for i in infos]
+        return names
+
+    def decide(
+        self,
+        kind: str,
+        shape: LevelShape,
+        level: int,
+        *,
+        sharded: bool = False,
+    ) -> TunerDecision:
+        """Select the kernel for one level and record the decision."""
+        candidates = self.candidates(kind, sharded=sharded)
+        chosen, predicted = self.policy.select(kind, shape, candidates)
+        decision = TunerDecision(
+            level=level,
+            kind=kind,
+            chosen=chosen,
+            policy=self.policy.name,
+            constrained_sharded=sharded,
+            shape=shape,
+            candidates=tuple(candidates),
+            predicted_s=predicted,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def kernel_for(self, decision: TunerDecision) -> object:
+        """The (cached) kernel instance a decision selected."""
+        key = (decision.kind, decision.chosen)
+        kernel = self._kernels.get(key)
+        if kernel is None:
+            kernel = create_kernel(*key)
+            self._kernels[key] = kernel
+        return kernel
+
+    def selected_counts(self) -> dict[str, dict[str, int]]:
+        """``{kind: {kernel: times chosen}}`` over the recorded run."""
+        counts: dict[str, dict[str, int]] = {}
+        for d in self.decisions:
+            per_kind = counts.setdefault(d.kind, {})
+            per_kind[d.chosen] = per_kind.get(d.chosen, 0) + 1
+        return counts
+
+    def as_dict(self) -> dict:
+        """The ``Repetition.tuner`` ledger block."""
+        return {
+            "policy": self.policy.name,
+            "kinds": list(self.kinds),
+            "n_decisions": len(self.decisions),
+            "selected": self.selected_counts(),
+            "decisions": [d.as_dict() for d in self.decisions],
+        }

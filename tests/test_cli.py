@@ -526,3 +526,120 @@ class TestTrend:
         rc = main(["trend", str(tmp_path / "nope.json")])
         assert rc == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestKernels:
+    def test_lists_all_kinds(self, capsys):
+        rc = main(["kernels"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for kind in ("scorer", "matcher", "contractor"):
+            assert kind in out
+        for name in ("worklist", "sweep", "gmm", "bucket", "spmatrix"):
+            assert name in out
+        assert "sharded" in out  # capability column
+
+    def test_kind_filter(self, capsys):
+        rc = main(["kernels", "--kind", "contractor"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bucket" in out and "spmatrix" in out
+        assert "worklist" not in out
+
+
+class TestCompareConfigDrift:
+    @pytest.fixture()
+    def drifted(self, tmp_path):
+        import json
+
+        from repro.bench.ledger import write_ledger
+        from tests.test_bench_ledger import make_record
+
+        base = write_ledger(make_record(name="base"), directory=tmp_path)
+        new = tmp_path / "BENCH_new.json"
+        doc = json.loads(base.read_text())
+        doc["name"] = "new"
+        doc["config"]["matcher"] = "auto"
+        doc["config"]["tuner"] = {"policy": "cost-model"}
+        new.write_text(json.dumps(doc))
+        return base, new
+
+    def test_drift_exits_two_with_diagnostic(self, drifted, capsys):
+        base, new = drifted
+        rc = main(["compare", str(base), str(new)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "different" in err
+        assert "config.matcher" in err
+        assert "config.tuner" in err
+        assert "--ignore-config" in err
+
+    def test_ignore_config_warns_and_proceeds(self, drifted, capsys):
+        base, new = drifted
+        rc = main(["compare", str(base), str(new), "--ignore-config"])
+        assert rc == 0  # identical numbers: no regression
+        captured = capsys.readouterr()
+        assert "warning" in captured.err
+        assert "config.matcher" in captured.err
+        assert "no regression" in captured.out
+
+    def test_matching_configs_do_not_trip_the_gate(self, tmp_path, capsys):
+        from repro.bench.ledger import write_ledger
+        from tests.test_bench_ledger import make_record
+
+        a = write_ledger(make_record(name="a"), directory=tmp_path)
+        b = write_ledger(make_record(name="b"), directory=tmp_path)
+        assert main(["compare", str(a), str(b)]) == 0
+        assert "warning" not in capsys.readouterr().err
+
+
+class TestDetectAuto:
+    def test_auto_kernels_print_tuner_summary(self, karate_file, capsys):
+        rc = main(
+            ["detect", karate_file, "--matcher", "auto",
+             "--contractor", "auto"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "tuner (cost-model):" in captured.err
+        assert "matcher:" in captured.err
+        assert len(captured.out.strip().splitlines()) == 34
+
+    def test_fixed_kernels_print_no_tuner_line(self, karate_file, capsys):
+        rc = main(["detect", karate_file])
+        assert rc == 0
+        assert "tuner (" not in capsys.readouterr().err
+
+    def test_tuner_table_flag(self, karate_file, tmp_path, capsys):
+        import json
+
+        from repro.core.tuner import DEFAULT_COST_TABLE
+
+        table = tmp_path / "table.json"
+        table.write_text(json.dumps(DEFAULT_COST_TABLE))
+        rc = main(
+            ["detect", karate_file, "--matcher", "auto",
+             "--contractor", "auto", "--tuner-table", str(table)]
+        )
+        assert rc == 0
+        assert "tuner (cost-model):" in capsys.readouterr().err
+
+    def test_bad_tuner_table_exits_two(self, karate_file, tmp_path, capsys):
+        table = tmp_path / "bad.json"
+        table.write_text("{not json")
+        rc = main(
+            ["detect", karate_file, "--matcher", "auto",
+             "--contractor", "auto", "--tuner-table", str(table)]
+        )
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_auto_matches_fixed_labels(self, karate_file, tmp_path):
+        fixed_out = tmp_path / "fixed.txt"
+        auto_out = tmp_path / "auto.txt"
+        assert main(["detect", karate_file, "-o", str(fixed_out)]) == 0
+        assert main(
+            ["detect", karate_file, "-o", str(auto_out),
+             "--matcher", "auto", "--contractor", "auto"]
+        ) == 0
+        assert auto_out.read_text() == fixed_out.read_text()

@@ -162,3 +162,98 @@ class TestChainWalkModel:
         from repro.core.contraction import _chain_walk_lengths
 
         assert _chain_walk_lengths(np.empty(0, dtype=np.int64), 8) == 0
+
+
+def _reference_chain_ops(keys, table_size):
+    """Straight-line model of the legacy insert: walk every distinct key
+    already in the chain, append (one more write) when new."""
+    chains = {}
+    ops = 0
+    for key in keys:
+        chain = chains.setdefault(int(key) % table_size, [])
+        ops += len(chain)
+        if int(key) not in chain:
+            ops += 1
+            chain.append(int(key))
+    return ops
+
+
+class TestChainWalkAdversarial:
+    """The legacy method must degrade gracefully — correct output,
+    finite accounting, contention capped — even when every key lands in
+    one chain (the distribution the paper's §IV-C ablation punishes)."""
+
+    def test_all_keys_one_chain_is_quadratic(self):
+        from repro.core.contraction import _chain_walk_lengths
+
+        # n distinct keys, all ≡ 0 mod table: one chain of length n.
+        n = 500
+        keys = np.arange(n, dtype=np.int64) * 64
+        ops = _chain_walk_lengths(keys, 64)
+        assert ops == n * (n - 1) // 2 + n
+        assert ops == _reference_chain_ops(keys, 64)
+
+    def test_all_duplicate_keys_stay_linear(self):
+        from repro.core.contraction import _chain_walk_lengths
+
+        # One key repeated n times: chain never grows past one node.
+        n = 500
+        keys = np.full(n, 42, dtype=np.int64)
+        ops = _chain_walk_lengths(keys, 64)
+        assert ops == n
+        assert ops == _reference_chain_ops(keys, 64)
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("table_size", [1, 3, 64, 10_000])
+    def test_matches_reference_on_random_keys(self, seed, table_size):
+        from repro.core.contraction import _chain_walk_lengths
+
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, 200, size=300).astype(np.int64)
+        assert _chain_walk_lengths(keys, table_size) == _reference_chain_ops(
+            keys, table_size
+        )
+
+    def test_long_chain_walk_no_overflow(self):
+        from repro.core.contraction import _chain_walk_lengths
+
+        # 200k distinct keys in one chain: ~2e10 inspections — must come
+        # back as an exact python int, not an overflowed int32.
+        n = 200_000
+        keys = np.arange(n, dtype=np.int64) * 7
+        ops = _chain_walk_lengths(keys, 7)
+        assert ops == n * (n - 1) // 2 + n
+
+    def test_high_collision_graph_identical_output(self, random_graph_factory):
+        # m >> n: after relabeling, most contracted keys are duplicates
+        # (high-collision community ids). Output must stay bit-identical
+        # to the bucket method and the chase profile well-formed.
+        g = random_graph_factory(n=20, m=400, seed=2)
+        m = run_matching(g)
+        a, map_a = contract(g, m)
+        rec = TraceRecorder()
+        b, map_b = contract_hash_chains(g, m, rec)
+        np.testing.assert_array_equal(map_a, map_b)
+        np.testing.assert_array_equal(a.edges.ei, b.edges.ei)
+        np.testing.assert_array_equal(a.edges.ej, b.edges.ej)
+        np.testing.assert_array_equal(a.edges.w, b.edges.w)
+        np.testing.assert_array_equal(a.self_weights, b.self_weights)
+
+        (chase,) = rec.by_name("contract_chase")
+        assert chase.chain_ops >= 0
+        assert 0.0 <= chase.contention <= 1.0
+        # Duplicate-heavy keys mean real collisions: contention registers.
+        assert chase.contention > 0.0
+
+    def test_contention_grows_with_collisions(self, random_graph_factory):
+        m_sparse = 40
+        sparse = random_graph_factory(n=30, m=m_sparse, seed=4)
+        dense = random_graph_factory(n=10, m=500, seed=4)
+
+        def contention_of(g):
+            rec = TraceRecorder()
+            contract_hash_chains(g, run_matching(g), rec)
+            (chase,) = rec.by_name("contract_chase")
+            return chase.contention
+
+        assert contention_of(dense) > contention_of(sparse)

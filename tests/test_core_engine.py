@@ -28,7 +28,12 @@ class TestRegistry:
     def test_builtins_discoverable(self):
         assert kernel_names("scorer") == ("conductance", "modularity", "weight")
         assert kernel_names("matcher") == ("gmm", "sweep", "worklist")
-        assert kernel_names("contractor") == ("bucket", "chains", "shard")
+        assert kernel_names("contractor") == (
+            "bucket",
+            "chains",
+            "shard",
+            "spmatrix",
+        )
 
     def test_kernel_kinds(self):
         assert KERNEL_KINDS == ("scorer", "matcher", "contractor")

@@ -1,0 +1,238 @@
+"""Unit coverage for the per-level kernel tuner (repro.core.tuner):
+shape features, cost-table validation/load/fit, selection policies and
+the KernelTuner seam the engine drives."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.registry import kernel_info, kernel_names
+from repro.core.tuner import (
+    AUTO_KERNEL,
+    COST_FEATURES,
+    DEFAULT_COST_TABLE,
+    CostModelPolicy,
+    KernelTuner,
+    LevelShape,
+    StaticPolicy,
+    TunerDecision,
+    fit_cost_table,
+    level_shape,
+    load_cost_table,
+)
+from repro.generators import planted_partition_graph
+
+
+@pytest.fixture(scope="module")
+def sbm():
+    return planted_partition_graph(300, seed=5)
+
+
+def make_shape(n=1000, m=8000, cv=1.5):
+    density = 2.0 * m / (n * (n - 1))
+    return LevelShape(
+        n_vertices=n, n_edges=m, density=density, degree_cv=cv
+    )
+
+
+class TestLevelShape:
+    def test_features_align_with_cost_features(self):
+        shape = make_shape()
+        feats = shape.features()
+        assert set(feats) == set(COST_FEATURES)
+        assert feats["const"] == 1.0
+        assert feats["edges"] == shape.n_edges
+        assert feats["vertices"] == shape.n_vertices
+        assert feats["edges_x_cv"] == pytest.approx(
+            shape.n_edges * shape.degree_cv
+        )
+
+    def test_level_shape_from_graph(self, sbm):
+        shape = level_shape(sbm)
+        assert shape.n_vertices == sbm.n_vertices
+        assert shape.n_edges == sbm.n_edges
+        expected = 2.0 * sbm.n_edges / (sbm.n_vertices * (sbm.n_vertices - 1))
+        assert shape.density == pytest.approx(expected)
+        deg = sbm.edges.degrees().astype(float)
+        assert shape.degree_cv == pytest.approx(deg.std() / deg.mean())
+
+    def test_as_dict_round_trips(self):
+        shape = make_shape()
+        d = shape.as_dict()
+        assert d["n_vertices"] == shape.n_vertices
+        assert d["degree_cv"] == shape.degree_cv
+
+
+class TestCostTable:
+    def test_default_table_is_valid(self):
+        table = load_cost_table(DEFAULT_COST_TABLE)
+        assert table["version"] == 1
+        # The shipped table prices every registered matcher/contractor.
+        for kind in ("matcher", "contractor"):
+            assert set(table["coefficients"][kind]) == set(kernel_names(kind))
+
+    def test_load_from_file_and_from_ledger_wrapper(self, tmp_path):
+        bare = tmp_path / "table.json"
+        bare.write_text(json.dumps(DEFAULT_COST_TABLE))
+        assert load_cost_table(bare)["version"] == 1
+
+        ledger = tmp_path / "ledger.json"
+        ledger.write_text(
+            json.dumps({"config": {"cost_table": DEFAULT_COST_TABLE}})
+        )
+        assert load_cost_table(ledger)["coefficients"]
+
+    @pytest.mark.parametrize(
+        "broken",
+        [
+            {"version": 2, "features": [], "coefficients": {}},
+            {"version": 1, "features": ["bogus"], "coefficients": {}},
+            {"version": 1, "features": ["const"], "coefficients": "nope"},
+            {
+                "version": 1,
+                "features": ["const"],
+                "coefficients": {"matcher": {"worklist": {"bogus": 1.0}}},
+            },
+            {
+                "version": 1,
+                "features": ["const"],
+                "coefficients": {"matcher": {"worklist": {"const": float("nan")}}},
+            },
+        ],
+    )
+    def test_invalid_tables_rejected(self, broken):
+        with pytest.raises(ValueError):
+            load_cost_table(broken)
+
+    def test_invalid_json_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_cost_table(path)
+
+    def test_fit_recovers_linear_model(self):
+        # Synthetic kernel whose cost is exactly linear in its declared
+        # features: the fit must recover the coefficients.
+        rng = np.random.default_rng(3)
+        true = {"const": 1e-3, "edges": 2e-7, "vertices": 5e-7}
+        pairs = []
+        for _ in range(24):
+            n = int(rng.integers(100, 5000))
+            m = int(rng.integers(n, 20 * n))
+            shape = make_shape(n=n, m=m, cv=float(rng.uniform(0.2, 3.0)))
+            secs = sum(true[f] * shape.features()[f] for f in true)
+            pairs.append((shape, secs))
+        table = fit_cost_table(
+            {("contractor", "bucket"): pairs}, source="unit-test"
+        )
+        got = table["coefficients"]["contractor"]["bucket"]
+        # bucket declares (const, edges, vertices) — exactly our model.
+        assert set(got) == set(true)
+        for f, c in true.items():
+            assert got[f] == pytest.approx(c, rel=1e-6)
+        assert table["source"] == "unit-test"
+
+    def test_fit_respects_registry_declared_features(self):
+        pairs = [(make_shape(cv=cv), 0.01 * cv) for cv in (0.5, 1.0, 2.0)]
+        table = fit_cost_table({("matcher", "worklist"): pairs})
+        feats = set(table["coefficients"]["matcher"]["worklist"])
+        assert feats == set(kernel_info("matcher", "worklist").cost_features)
+
+    def test_fit_skips_empty_sample_lists(self):
+        table = fit_cost_table({("matcher", "worklist"): []})
+        assert table["coefficients"] == {}
+
+
+class TestPolicies:
+    def test_cost_model_picks_cheapest(self):
+        policy = CostModelPolicy(
+            {
+                "version": 1,
+                "features": list(COST_FEATURES),
+                "coefficients": {
+                    "matcher": {
+                        "fast": {"const": 1e-4},
+                        "slow": {"const": 1e-1},
+                    }
+                },
+            }
+        )
+        chosen, predicted = policy.select(
+            "matcher", make_shape(), ["slow", "fast"]
+        )
+        assert chosen == "fast"
+        assert predicted["fast"] < predicted["slow"]
+
+    def test_cost_model_untabulated_candidates_predict_none(self):
+        policy = CostModelPolicy()
+        chosen, predicted = policy.select(
+            "matcher", make_shape(), ["worklist", "mystery"]
+        )
+        assert predicted["mystery"] is None
+        assert chosen == "worklist"
+
+    def test_cost_model_all_untabulated_falls_back_to_name_order(self):
+        policy = CostModelPolicy()
+        chosen, _ = policy.select("matcher", make_shape(), ["zz", "aa"])
+        assert chosen == "aa"
+
+    def test_cost_model_empty_candidates_raise(self):
+        with pytest.raises(ValueError, match="no matcher candidates"):
+            CostModelPolicy().select("matcher", make_shape(), [])
+
+    def test_static_policy_pins_and_falls_back(self):
+        policy = StaticPolicy({"matcher": "sweep"})
+        chosen, _ = policy.select(
+            "matcher", make_shape(), ["worklist", "sweep"]
+        )
+        assert chosen == "sweep"
+        # Pin filtered out (e.g. sharded constraint): deterministic
+        # name-order fallback, not an error.
+        chosen, _ = policy.select("matcher", make_shape(), ["worklist", "gmm"])
+        assert chosen == "gmm"
+
+
+class TestKernelTuner:
+    def test_candidates_filter_on_sharded_capability(self):
+        tuner = KernelTuner()
+        unconstrained = tuner.candidates("contractor")
+        constrained = tuner.candidates("contractor", sharded=True)
+        assert set(constrained) < set(unconstrained)
+        for name in constrained:
+            assert kernel_info("contractor", name).supports_sharded
+        for name in set(unconstrained) - set(constrained):
+            assert not kernel_info("contractor", name).supports_sharded
+
+    def test_decide_records_full_rationale(self):
+        tuner = KernelTuner()
+        shape = make_shape()
+        decision = tuner.decide("matcher", shape, 3, sharded=True)
+        assert isinstance(decision, TunerDecision)
+        assert decision.level == 3
+        assert decision.constrained_sharded
+        assert decision.chosen in decision.candidates
+        assert kernel_info("matcher", decision.chosen).supports_sharded
+        assert tuner.decisions == [decision]
+
+    def test_kernel_for_caches_instances(self):
+        tuner = KernelTuner(StaticPolicy({"contractor": "bucket"}))
+        d1 = tuner.decide("contractor", make_shape(), 0)
+        d2 = tuner.decide("contractor", make_shape(), 1)
+        assert tuner.kernel_for(d1) is tuner.kernel_for(d2)
+
+    def test_ledger_block_shape(self):
+        tuner = KernelTuner(StaticPolicy({"matcher": "worklist"}))
+        tuner.decide("matcher", make_shape(), 0)
+        tuner.decide("matcher", make_shape(), 1)
+        block = tuner.as_dict()
+        assert block["policy"] == "static"
+        assert block["n_decisions"] == 2
+        assert block["selected"] == {"matcher": {"worklist": 2}}
+        assert len(block["decisions"]) == 2
+        assert json.dumps(block)  # ledger-serializable
+
+    def test_auto_sentinel_is_not_a_registered_kernel(self):
+        assert AUTO_KERNEL == "auto"
+        assert AUTO_KERNEL not in kernel_names("matcher")
+        assert AUTO_KERNEL not in kernel_names("contractor")

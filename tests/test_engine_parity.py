@@ -16,8 +16,10 @@ import pytest
 from repro.core import (
     AgglomerationEngine,
     RunContext,
+    StaticPolicy,
     TerminationCriteria,
     detect_communities,
+    kernel_info,
 )
 from repro.generators import planted_partition_graph, rmat_graph
 from repro.parallel.backends import (
@@ -27,7 +29,7 @@ from repro.parallel.backends import (
 )
 
 MATCHERS = ["worklist", "sweep"]
-CONTRACTORS = ["bucket", "chains"]
+CONTRACTORS = ["bucket", "chains", "spmatrix"]
 SCORERS = ["modularity", "conductance", "weight"]
 
 
@@ -151,6 +153,11 @@ class TestShardedParity:
         shard = detect_communities(sbm, contractor="shard")
         assert_runs_identical(base, shard)
 
+    def test_spmatrix_contractor_matches_bucket(self, sbm):
+        base = detect_communities(sbm, contractor="bucket")
+        spgemm = detect_communities(sbm, contractor="spmatrix")
+        assert_runs_identical(base, spgemm)
+
     def test_keeps_at_most_two_level_stores(self, sbm, tmp_path):
         backend = ShardedBackend(spill_dir=tmp_path)
         result = detect_communities(sbm, backend=backend)
@@ -159,6 +166,75 @@ class TestShardedParity:
         assert len(remaining) <= 2
         backend.release()
         assert list(tmp_path.iterdir()) == []
+
+
+def assert_partitions_identical(a, b):
+    """Partition-level parity only: matchers may legitimately differ in
+    per-level ``matching_passes`` while producing identical matchings, so
+    mixed-kernel (auto-tuned) runs are compared on partition, dendrogram
+    and termination — not raw :class:`LevelStats` equality."""
+    np.testing.assert_array_equal(a.partition.labels, b.partition.labels)
+    assert len(a.dendrogram.maps) == len(b.dendrogram.maps)
+    for ma, mb in zip(a.dendrogram.maps, b.dendrogram.maps):
+        np.testing.assert_array_equal(ma, mb)
+    assert a.terminated_by == b.terminated_by
+    assert a.scorer_name == b.scorer_name
+
+
+class TestAutoTunerParity:
+    """``--matcher auto --contractor auto`` never changes the answer."""
+
+    @pytest.mark.parametrize("graph_name", ["rmat", "sbm"])
+    def test_auto_matches_fixed_partition(self, graph_name, request):
+        graph = request.getfixturevalue(graph_name)
+        fixed = detect_communities(graph, matcher="worklist", contractor="bucket")
+        auto = detect_communities(graph, matcher="auto", contractor="auto")
+        assert_partitions_identical(fixed, auto)
+
+    def test_auto_records_per_level_decisions(self, sbm):
+        auto = detect_communities(sbm, matcher="auto", contractor="auto")
+        tuner = auto.tuner
+        assert tuner is not None
+        assert tuner["policy"] == "cost-model"
+        assert tuner["n_decisions"] == 2 * auto.n_levels
+        kinds = {d["kind"] for d in tuner["decisions"]}
+        assert kinds == {"matcher", "contractor"}
+        for d in tuner["decisions"]:
+            assert d["chosen"] in d["candidates"]
+            assert d["shape"]["n_vertices"] > 0
+
+    def test_fixed_run_has_no_tuner_block(self, sbm):
+        fixed = detect_communities(sbm)
+        assert fixed.tuner is None
+
+    def test_static_policy_pin_equals_fixed_run(self, sbm):
+        pinned = StaticPolicy({"matcher": "sweep", "contractor": "chains"})
+        fixed = detect_communities(sbm, matcher="sweep", contractor="chains")
+        auto = detect_communities(
+            sbm, matcher="auto", contractor="auto", selector=pinned
+        )
+        assert_runs_identical(fixed, auto)
+        assert auto.tuner["policy"] == "static"
+        assert auto.tuner["selected"] == {
+            "matcher": {"sweep": auto.n_levels},
+            "contractor": {"chains": auto.n_levels},
+        }
+
+    def test_spilled_levels_constrain_to_sharded_kernels(self, sbm, tmp_path):
+        base = detect_communities(sbm)
+        backend = ShardedBackend(spill_dir=tmp_path, n_shards=4)
+        auto = detect_communities(
+            sbm, matcher="auto", contractor="auto", backend=backend
+        )
+        assert backend.spilled_levels > 0, "run must actually spill"
+        backend.release()
+        assert_partitions_identical(base, auto)
+        constrained = [
+            d for d in auto.tuner["decisions"] if d["constrained_sharded"]
+        ]
+        assert constrained, "spilled run must constrain at least one level"
+        for d in constrained:
+            assert kernel_info(d["kind"], d["chosen"]).supports_sharded
 
 
 class TestResumeParity:
