@@ -335,7 +335,7 @@ def read_ledger(path: str | os.PathLike) -> RunRecord:
             data = json.load(fh)
     except OSError as exc:
         raise ReproError(f"{path}: cannot read ledger: {exc}") from exc
-    except json.JSONDecodeError as exc:
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise ReproError(f"{path}: not valid JSON: {exc}") from exc
     return RunRecord.from_dict(data, source=str(path))
 

@@ -10,6 +10,8 @@ Subcommands::
     python -m repro report    # render a run trace (+ ledger) to Markdown/HTML
     python -m repro trend     # metric trajectory across BENCH_*.json ledgers
     python -m repro watch     # live ASCII view of a running run's status.json
+    python -m repro replay    # stream an edge log through the detection service
+    python -m repro serve     # journal-and-apply edge events read from stdin
 
 Every command reads/writes the formats in :mod:`repro.graph.io`
 (``edgelist``, ``metis``, ``npz``, auto-detected from the extension).
@@ -790,6 +792,292 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         return 0
 
 
+# ---------------------------------------------------------------- stream
+def _make_stream_service(args: argparse.Namespace) -> "DetectionService":
+    """Build the streaming service (+ fault plan) the stream verbs share."""
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.retry import RetryPolicy
+    from repro.stream.service import (
+        CRASH_POINTS,
+        DetectionService,
+        StreamConfig,
+    )
+
+    faults = None
+    if getattr(args, "kill_after", None):
+        try:
+            point, _, idx = args.kill_after.rpartition(":")
+            if point not in CRASH_POINTS:
+                raise ValueError(
+                    f"unknown crash point {point!r} "
+                    f"(one of {', '.join(CRASH_POINTS)})"
+                )
+            faults = FaultPlan.sigkill_at(point, [int(idx)])
+        except ValueError as exc:
+            raise SystemExit(f"error: --kill-after: {exc}")
+    config = StreamConfig(
+        scorer=args.scorer,
+        matcher=args.matcher,
+        contractor=args.contractor,
+        seed=args.seed,
+        snapshot_every=args.snapshot_every,
+        snapshot_keep=args.snapshot_keep,
+        drift_threshold=(
+            args.drift_threshold if args.drift_threshold > 0 else None
+        ),
+        repair_deadline_s=args.repair_deadline,
+        retry=RetryPolicy(
+            max_retries=2,
+            backoff_base_s=0.01,
+            backoff_cap_s=0.25,
+            jitter=args.retry_jitter,
+            jitter_seed=args.seed,
+        ),
+    )
+    return DetectionService(args.data_dir, config, faults=faults)
+
+
+def _stream_epilogue(args: argparse.Namespace, svc) -> int:
+    """Shared post-run steps of the stream verbs: labels out + verify."""
+    if getattr(args, "labels_out", None):
+        labels = svc.labels
+        with open(args.labels_out, "w", encoding="utf-8") as fh:
+            if labels is not None:
+                for v, c in enumerate(labels.tolist()):
+                    fh.write(f"{v}\t{c}\n")
+        print(f"labels: written to {args.labels_out}", file=sys.stderr)
+    if getattr(args, "verify", False):
+        # Re-open briefly: verify() re-scans the WAL, which close()
+        # released.  The check must see exactly the durable state a
+        # future recovery would.
+        svc.open()
+        try:
+            outcome = svc.verify()
+        finally:
+            svc.close()
+        status = "ok" if outcome["ok"] else "FAILED"
+        detail = ", ".join(
+            f"{name}={'ok' if passed else 'FAIL'}"
+            for name, passed in outcome["checks"].items()
+        )
+        print(f"verify: {status} ({detail})", file=sys.stderr)
+        if not outcome["ok"]:
+            return 1
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.errors import ReproError
+    from repro.stream.replay import ReplayHarness, generate_edge_log
+
+    log_path = args.log
+    if args.generate:
+        if log_path is None:
+            print("error: --generate requires --log PATH", file=sys.stderr)
+            return 2
+        generate_edge_log(
+            log_path,
+            n_batches=args.batches,
+            batch_size=args.batch_size,
+            n_vertices=args.vertices,
+            n_blocks=args.blocks,
+            p_delete=args.p_delete,
+            drift_every=args.drift_every,
+            seed=args.log_seed,
+        )
+        print(
+            f"generated {args.batches}-batch edge log at {log_path}",
+            file=sys.stderr,
+        )
+    if log_path is None:
+        print("error: --log PATH is required", file=sys.stderr)
+        return 2
+    svc = _make_stream_service(args)
+    harness = ReplayHarness(
+        svc, bench_path=args.bench_out, report_path=args.report_out
+    )
+    try:
+        summary = harness.run(log_path, max_batches=args.max_batches)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    print(_json.dumps(summary, indent=2))
+    if svc.report.any_recovery():
+        print(f"resilience: {svc.report.summary()}", file=sys.stderr)
+    return _stream_epilogue(args, svc)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.errors import ReproError
+    from repro.stream.replay import EDGE_LOG_HEADER
+
+    svc = _make_stream_service(args)
+    try:
+        svc.open()
+    except ReproError as exc:
+        print(f"error: recovery failed: {exc}", file=sys.stderr)
+        return 3
+    if svc.report.any_recovery():
+        print(f"resilience: {svc.report.summary()}", file=sys.stderr)
+    print(
+        f"serving from {args.data_dir} at batch {svc.batch_seq} "
+        f"({svc.n_vertices} vertices, {svc.n_communities} communities); "
+        "reading edge events from stdin",
+        file=sys.stderr,
+    )
+
+    cur_t: int | None = None
+    ii: list[int] = []
+    jj: list[int] = []
+    ww: list[float] = []
+    op: list[int] = []
+
+    def _flush() -> None:
+        nonlocal ii, jj, ww, op
+        if cur_t is None or not ii:
+            ii, jj, ww, op = [], [], [], []
+            return
+        res = svc.ingest(
+            np.asarray(ii),
+            np.asarray(jj),
+            np.asarray(ww),
+            np.asarray(op, dtype=np.int8),
+        )
+        print(
+            _json.dumps(
+                {
+                    "seq": res.seq,
+                    "applied": res.applied,
+                    "n_vertices": res.n_vertices,
+                    "n_edges": res.n_edges,
+                    "n_communities": res.n_communities,
+                    "modularity": res.modularity,
+                    "coverage": res.coverage,
+                    "latency_s": res.latency_s,
+                    "rerun": res.rerun,
+                }
+            ),
+            flush=True,
+        )
+        ii, jj, ww, op = [], [], [], []
+
+    rc = 0
+    try:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line or line.startswith("#") or line == EDGE_LOG_HEADER:
+                continue
+            parts = line.split()
+            if len(parts) != 5 or parts[1] not in ("+", "-"):
+                print(
+                    f"error: malformed edge event {line!r} "
+                    "(want: t +|- i j w)",
+                    file=sys.stderr,
+                )
+                rc = 2
+                break
+            t = int(parts[0])
+            if cur_t is not None and t != cur_t:
+                _flush()
+            cur_t = t
+            ii.append(int(parts[2]))
+            jj.append(int(parts[3]))
+            ww.append(float(parts[4]))
+            op.append(1 if parts[1] == "+" else -1)
+        else:
+            _flush()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        svc.close()
+    if rc != 0:
+        return rc
+    return _stream_epilogue(args, svc)
+
+
+def _add_stream_arguments(p: argparse.ArgumentParser) -> None:
+    """Service knobs shared by ``repro serve`` and ``repro replay``."""
+    p.add_argument(
+        "--data-dir",
+        required=True,
+        metavar="DIR",
+        help="durable service state (wal/ + snapshots/); recovery "
+        "replays whatever a previous process left here",
+    )
+    p.add_argument(
+        "--scorer", default="modularity", choices=kernel_names("scorer")
+    )
+    p.add_argument(
+        "--matcher", default="worklist", choices=kernel_names("matcher")
+    )
+    p.add_argument(
+        "--contractor", default="bucket", choices=kernel_names("contractor")
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=8,
+        metavar="N",
+        help="persist a snapshot every N batches (default: 8)",
+    )
+    p.add_argument(
+        "--snapshot-keep",
+        type=int,
+        default=3,
+        metavar="N",
+        help="snapshots retained on disk (default: 3)",
+    )
+    p.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.1,
+        metavar="DQ",
+        help="modularity drop below the last full detection that "
+        "triggers a full rerun (<= 0 disables; default: 0.1)",
+    )
+    p.add_argument(
+        "--repair-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per incremental repair; a breach "
+        "triggers a (journaled) full rerun",
+    )
+    p.add_argument(
+        "--retry-jitter",
+        type=float,
+        default=0.0,
+        metavar="F",
+        help="decorrelated-jitter strength for repair retries "
+        "(0 disables; see docs/RESILIENCE.md)",
+    )
+    p.add_argument(
+        "--kill-after",
+        metavar="POINT:INDEX",
+        default=None,
+        help="SIGKILL this process the INDEX-th time it passes the "
+        "named crash point (wal-append, apply, snapshot, post-snapshot, "
+        "wal-rerun) — the kill-chaos harness's deterministic crash",
+    )
+    p.add_argument(
+        "--labels-out",
+        metavar="PATH",
+        default=None,
+        help="write the final vertex\\tcommunity labels",
+    )
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="after the run, re-open the durable state and fail "
+        "(exit 1) unless every structural self-check passes",
+    )
+
+
 # ----------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -1190,6 +1478,92 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds in one phase before flagging a stall (default: 30)",
     )
     p.set_defaults(func=_cmd_watch)
+
+    p = sub.add_parser(
+        "replay",
+        help="stream a timestamped edge log through the detection service",
+        description="Replay an edge log (see docs/STREAMING.md) through "
+        "the durable streaming service: every batch is journaled in the "
+        "write-ahead log before it mutates state, per-batch latency and "
+        "quality are ledgered into a BENCH_stream.json, and re-running "
+        "the same command after a crash (or --kill-after) resumes from "
+        "the recovered state — the final partition is bit-identical to "
+        "an uninterrupted run.",
+    )
+    p.add_argument(
+        "--log",
+        metavar="PATH",
+        default=None,
+        help="edge log to replay (written by --generate if asked)",
+    )
+    p.add_argument(
+        "--generate",
+        action="store_true",
+        help="first synthesize a deterministic drifting edge log at --log",
+    )
+    p.add_argument(
+        "--batches", type=int, default=24, help="batches to generate"
+    )
+    p.add_argument(
+        "--batch-size", type=int, default=64, help="events per batch"
+    )
+    p.add_argument(
+        "--vertices", type=int, default=96, help="vertex universe size"
+    )
+    p.add_argument(
+        "--blocks", type=int, default=4, help="planted community count"
+    )
+    p.add_argument(
+        "--p-delete",
+        type=float,
+        default=0.15,
+        help="fraction of events deleting a live edge",
+    )
+    p.add_argument(
+        "--drift-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="rotate planted memberships every N batches (0 freezes "
+        "them; rotation makes modularity genuinely drift)",
+    )
+    p.add_argument(
+        "--log-seed", type=int, default=0, help="generator seed"
+    )
+    p.add_argument(
+        "--max-batches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after batch sequence N",
+    )
+    p.add_argument(
+        "--bench-out",
+        metavar="PATH",
+        default="BENCH_stream.json",
+        help="per-batch latency/quality ledger (default: "
+        "BENCH_stream.json; merged by sequence across restarts)",
+    )
+    p.add_argument(
+        "--report-out",
+        metavar="PATH",
+        default=None,
+        help="write the recovery report JSON",
+    )
+    _add_stream_arguments(p)
+    p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser(
+        "serve",
+        help="journal-and-apply edge events read from stdin",
+        description="Run the streaming detection service interactively: "
+        "recover whatever state --data-dir holds, then read edge events "
+        "(`t +|- i j w`, batched by timestamp) from stdin, journaling "
+        "each batch in the WAL before applying it and printing one JSON "
+        "result line per batch.  EOF (or Ctrl-C) snapshots and exits.",
+    )
+    _add_stream_arguments(p)
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

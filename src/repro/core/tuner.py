@@ -230,7 +230,7 @@ def load_cost_table(source: str | os.PathLike | Mapping) -> dict:
     with open(source, "r", encoding="utf-8") as fh:
         try:
             data = json.load(fh)
-        except json.JSONDecodeError as exc:
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise ValueError(f"{source}: not valid JSON: {exc}") from exc
     # A shootout ledger embeds the table under config.cost_table; accept
     # either the bare table or the ledger wrapping it.

@@ -18,6 +18,8 @@ __all__ = [
     "PlatformModelError",
     "CheckpointError",
     "SpillError",
+    "WalError",
+    "StreamStateError",
     "ChunkFailureError",
     "RunAbortedError",
 ]
@@ -83,6 +85,29 @@ class SpillError(ReproError):
     mismatch) and by :class:`repro.graph.csr.ShardedCSRStore` when a
     spilled graph cannot be reopened.  A spilled run surfaces this
     instead of ever returning results computed from torn shard data.
+    """
+
+
+class WalError(ReproError):
+    """A write-ahead-log segment is malformed beyond safe recovery.
+
+    Raised by :mod:`repro.stream.wal` when the log *as a whole* cannot
+    be trusted — a sequence-number regression across segments, an
+    unwritable directory, an append against a sealed log.  Torn tails
+    and bit-flipped records are *not* this error: recovery truncates
+    and quarantines those silently (they are expected crash debris) and
+    reports them in :class:`~repro.stream.wal.WalRecovery`.
+    """
+
+
+class StreamStateError(ReproError):
+    """The streaming service's durable state is unusable.
+
+    Raised by :class:`repro.stream.service.DetectionService` when
+    recovery cannot produce a consistent state — e.g. every snapshot is
+    corrupt *and* the WAL no longer reaches back to sequence zero, so
+    replaying the surviving tail would apply deltas against the wrong
+    base.  Fail-stop beats silently serving a wrong partition.
     """
 
 

@@ -195,6 +195,8 @@ def read_trace(
             lines = [ln for ln in fh.read().splitlines() if ln.strip()]
     except OSError as exc:
         raise ReproError(f"{path}: cannot read trace: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise ReproError(f"{path}: not valid UTF-8: {exc}") from exc
     if not lines:
         raise ReproError(f"{path}: empty trace file")
     try:

@@ -461,7 +461,7 @@ def read_status(path: str | os.PathLike) -> dict:
             status = json.load(fh)
     except OSError as exc:
         raise ReproError(f"{p}: cannot read status: {exc}") from exc
-    except json.JSONDecodeError as exc:
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise ReproError(f"{p}: not valid JSON: {exc}") from exc
     if not isinstance(status, dict) or status.get("schema") != STATUS_SCHEMA:
         raise ReproError(f"{p}: not a {STATUS_SCHEMA} file")

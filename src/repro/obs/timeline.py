@@ -43,9 +43,12 @@ from repro.obs.metrics import Histogram
 
 __all__ = [
     "TIMELINE_SCHEMA_VERSION",
+    "STREAM_TIMELINE_SCHEMA_VERSION",
     "SIZE_HISTOGRAM_EDGES",
     "LevelQuality",
     "QualityTimeline",
+    "BatchQuality",
+    "StreamTimeline",
     "NullTimeline",
     "NULL_TIMELINE",
     "as_timeline",
@@ -170,6 +173,103 @@ class QualityTimeline:
         tl = cls()
         for d in data.get("levels", []):
             tl.levels.append(LevelQuality(**d))
+        return tl
+
+
+# -------------------------------------------------------------- streaming
+#: Version of the streaming timeline dict schema.
+STREAM_TIMELINE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BatchQuality:
+    """Quality sample after one streaming edge batch.
+
+    The per-batch analogue of :class:`LevelQuality`: where the batch
+    pipeline's trajectory runs over contraction levels, the streaming
+    service's runs over applied batches — this is the trajectory the
+    drift-triggered degradation ladder thresholds.  ``rerun`` is the
+    empty string for an ordinary incremental repair, or the ladder
+    reason (``"drift"``, ``"deadline"``, ``"repair-failed"``) when the
+    batch escalated to a full re-detection; ``replayed`` marks samples
+    recorded while recovering the WAL tail rather than ingesting live.
+    """
+
+    seq: int
+    n_vertices: int
+    n_edges: int
+    n_communities: int
+    modularity: float
+    coverage: float
+    latency_s: float
+    rerun: str = ""
+    replayed: bool = False
+
+
+class StreamTimeline:
+    """Accumulates one :class:`BatchQuality` per applied batch."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.batches: list[BatchQuality] = []
+
+    def record_batch(
+        self,
+        *,
+        seq: int,
+        n_vertices: int,
+        n_edges: int,
+        n_communities: int,
+        modularity: float,
+        coverage: float,
+        latency_s: float,
+        rerun: str = "",
+        replayed: bool = False,
+    ) -> BatchQuality:
+        """Append the sample for one applied batch."""
+        sample = BatchQuality(
+            seq=int(seq),
+            n_vertices=int(n_vertices),
+            n_edges=int(n_edges),
+            n_communities=int(n_communities),
+            modularity=float(modularity),
+            coverage=float(coverage),
+            latency_s=float(latency_s),
+            rerun=str(rerun),
+            replayed=bool(replayed),
+        )
+        self.batches.append(sample)
+        return sample
+
+    @property
+    def n_batches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def final(self) -> BatchQuality | None:
+        """The last recorded sample (the stream's current quality)."""
+        return self.batches[-1] if self.batches else None
+
+    def as_dict(self) -> dict:
+        """JSON-ready dump (embedded in ``BENCH_stream.json``)."""
+        return {
+            "version": STREAM_TIMELINE_SCHEMA_VERSION,
+            "batches": [asdict(s) for s in self.batches],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamTimeline":
+        """Rebuild a streaming timeline from :meth:`as_dict` output."""
+        version = data.get("version")
+        if version != STREAM_TIMELINE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported stream timeline version {version!r} "
+                f"(expected {STREAM_TIMELINE_SCHEMA_VERSION})"
+            )
+        tl = cls()
+        for d in data.get("batches", []):
+            tl.batches.append(BatchQuality(**d))
         return tl
 
 

@@ -485,7 +485,9 @@ class SharedArrayPool:
                 st.attempt += 1
                 rep.retries += 1
                 tr.counter("resilience.retries").inc()
-                st.not_before = now + pol.backoff_s(st.attempt)
+                st.not_before = now + pol.backoff_s(
+                    st.attempt, token=st.index
+                )
                 waiting.append(st)
 
         try:

@@ -27,6 +27,7 @@ from repro.resilience.checkpoint import (
     CHECKPOINT_SCHEMA_VERSION,
     CheckpointManager,
     CheckpointState,
+    quarantine_file,
 )
 from repro.resilience.faults import FaultPlan, FaultSpec, truncate_file
 from repro.resilience.guardian import (
@@ -52,6 +53,7 @@ __all__ = [
     "CheckpointManager",
     "CheckpointState",
     "CHECKPOINT_SCHEMA_VERSION",
+    "quarantine_file",
     "AUDIT_MODES",
     "InvariantAuditor",
     "lower_audit_mode",

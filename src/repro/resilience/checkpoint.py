@@ -18,9 +18,12 @@ Durability rules:
   is classified :class:`~repro.errors.CheckpointError` instead of
   producing a silently wrong resume.
 
-``load_latest`` falls back: invalid files are counted and skipped, and
-the newest *valid* level wins.  An empty or fully corrupt directory
-resumes as a fresh run.
+``load_latest`` falls back: invalid files are *quarantined* — renamed to
+``<name>.corrupt`` so they are re-validated at most once, not on every
+resume — counted, and skipped; the newest *valid* level wins.  An empty
+or fully corrupt directory resumes as a fresh run.  The quarantined
+paths are logged once per resume so the corruption stays visible
+without spamming a warning per file per restart.
 """
 
 from __future__ import annotations
@@ -41,7 +44,12 @@ from repro.types import VERTEX_DTYPE
 from repro.util.atomicio import atomic_write
 from repro.util.log import get_logger
 
-__all__ = ["CHECKPOINT_SCHEMA_VERSION", "CheckpointState", "CheckpointManager"]
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointState",
+    "CheckpointManager",
+    "quarantine_file",
+]
 
 #: Version of the on-disk checkpoint schema.
 CHECKPOINT_SCHEMA_VERSION = 1
@@ -49,6 +57,27 @@ CHECKPOINT_SCHEMA_VERSION = 1
 _FILE_RE = re.compile(r"^level_(\d{5})\.ckpt\.npz$")
 
 _log = get_logger("resilience.checkpoint")
+
+
+def quarantine_file(path: str | os.PathLike) -> Path:
+    """Rename an invalid durable artifact to ``<name>.corrupt``.
+
+    The rename takes the file out of every discovery glob (checkpoint
+    levels, snapshot sequences, WAL segments) so a known-bad file is
+    validated exactly once instead of on every resume, while the bytes
+    stay on disk for post-mortem inspection.  An existing quarantine
+    target is suffixed with a counter rather than overwritten — two
+    crashes must not destroy each other's forensics.  Returns the
+    quarantine path.
+    """
+    src = Path(os.fspath(path))
+    target = src.with_name(src.name + ".corrupt")
+    n = 1
+    while target.exists():
+        target = src.with_name(f"{src.name}.corrupt.{n}")
+        n += 1
+    os.replace(src, target)
+    return target
 
 
 @dataclass
@@ -261,15 +290,32 @@ class CheckpointManager:
     def load_latest(self) -> tuple[CheckpointState | None, int]:
         """The newest valid checkpoint, plus the count of invalid files.
 
-        Invalid (truncated, corrupt, wrong-schema) files are skipped with
-        a warning; ``(None, n_invalid)`` means nothing usable was found
-        and the caller should start fresh.
+        Invalid (truncated, corrupt, wrong-schema) files are quarantined
+        — renamed to ``<name>.corrupt`` so the next resume never re-reads
+        known-bad bytes — and the quarantined paths are logged once.
+        ``(None, n_invalid)`` means nothing usable was found and the
+        caller should start fresh.
         """
         n_invalid = 0
+        quarantined: list[str] = []
+        state: CheckpointState | None = None
         for level in reversed(self.levels_on_disk()):
             try:
-                return self.load_level(level), n_invalid
+                state = self.load_level(level)
+                break
             except CheckpointError as exc:
                 n_invalid += 1
-                _log.warning("skipping invalid checkpoint: %s", exc)
-        return None, n_invalid
+                try:
+                    quarantined.append(
+                        str(quarantine_file(self.path_for(level)))
+                    )
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
+                _log.debug("invalid checkpoint: %s", exc)
+        if quarantined:
+            _log.warning(
+                "quarantined %d invalid checkpoint file(s): %s",
+                len(quarantined),
+                ", ".join(quarantined),
+            )
+        return state, n_invalid

@@ -46,6 +46,18 @@ run never trusts torn shard data:
   checksummed header must catch on reopen as
   :class:`~repro.errors.SpillError`.
 
+A fourth fault family targets the *streaming detection service* — keyed
+by ``(crash_point, index)`` and consulted by
+:class:`repro.stream.service.DetectionService` and its write-ahead log
+at named protocol points (``wal-append``, ``apply``, ``snapshot`` …) —
+so the kill-chaos suite can prove crash-equivalence deterministically:
+
+* ``sigkill`` — the process sends itself ``SIGKILL`` at the crash
+  point: no cleanup handlers, no flushes, exactly the ``kill -9`` the
+  recovery contract promises to survive.  The ``index`` counts visits
+  to that point within the process's lifetime, so "die on the third
+  WAL append" is reproducible.
+
 :func:`truncate_file` is the checkpoint-side injector: it chops a file
 mid-byte to model a torn write, which resume must detect and skip.
 """
@@ -61,7 +73,14 @@ import numpy as np
 __all__ = ["FaultSpec", "FaultPlan", "truncate_file"]
 
 FaultKind = Literal[
-    "kill", "delay", "corrupt", "stall", "memory_pressure", "enospc", "torn_write"
+    "kill",
+    "delay",
+    "corrupt",
+    "stall",
+    "memory_pressure",
+    "enospc",
+    "torn_write",
+    "sigkill",
 ]
 
 #: Kinds injected inside forked worker processes (chunk faults).
@@ -70,6 +89,8 @@ CHUNK_FAULT_KINDS = ("kill", "delay", "corrupt")
 PHASE_FAULT_KINDS = ("stall", "memory_pressure")
 #: Kinds injected at durable-artifact writes (disk faults).
 DISK_FAULT_KINDS = ("enospc", "torn_write")
+#: Kinds injected at streaming-service crash points (service faults).
+SERVICE_FAULT_KINDS = ("sigkill",)
 
 
 @dataclass(frozen=True)
@@ -90,7 +111,10 @@ class FaultSpec:
 
     def __post_init__(self) -> None:
         if self.kind not in (
-            CHUNK_FAULT_KINDS + PHASE_FAULT_KINDS + DISK_FAULT_KINDS
+            CHUNK_FAULT_KINDS
+            + PHASE_FAULT_KINDS
+            + DISK_FAULT_KINDS
+            + SERVICE_FAULT_KINDS
         ):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.delay_s < 0:
@@ -107,7 +131,8 @@ class FaultPlan:
 
     ``faults`` keys chunk faults by ``(chunk_index, attempt)``;
     ``phase_faults`` keys phase faults by ``(phase_name, level)``;
-    ``disk_faults`` keys disk faults by ``(artifact_name, index)``.
+    ``disk_faults`` keys disk faults by ``(artifact_name, index)``;
+    ``service_faults`` keys service faults by ``(crash_point, index)``.
     """
 
     faults: dict[tuple[int, int], FaultSpec] = field(default_factory=dict)
@@ -115,6 +140,9 @@ class FaultPlan:
         default_factory=dict
     )
     disk_faults: dict[tuple[str, int], FaultSpec] = field(
+        default_factory=dict
+    )
+    service_faults: dict[tuple[str, int], FaultSpec] = field(
         default_factory=dict
     )
 
@@ -130,9 +158,18 @@ class FaultPlan:
         """The fault to inject at this durable-artifact write, if any."""
         return self.disk_faults.get((artifact, index))
 
+    def decide_service(self, point: str, index: int) -> FaultSpec | None:
+        """The fault to inject at this service crash point, if any."""
+        return self.service_faults.get((point, index))
+
     @property
     def n_faults(self) -> int:
-        return len(self.faults) + len(self.phase_faults) + len(self.disk_faults)
+        return (
+            len(self.faults)
+            + len(self.phase_faults)
+            + len(self.disk_faults)
+            + len(self.service_faults)
+        )
 
     def add(
         self, chunk_index: int, attempt: int, spec: FaultSpec
@@ -161,6 +198,18 @@ class FaultPlan:
                 f"{spec.kind!r} is not a disk fault; use add()/add_phase()"
             )
         self.disk_faults[(artifact, index)] = spec
+        return self
+
+    def add_service(
+        self, point: str, index: int, spec: FaultSpec
+    ) -> "FaultPlan":
+        """Schedule one service crash-point fault; chainable."""
+        if spec.kind not in SERVICE_FAULT_KINDS:
+            raise ValueError(
+                f"{spec.kind!r} is not a service fault; use "
+                "add()/add_phase()/add_disk()"
+            )
+        self.service_faults[(point, index)] = spec
         return self
 
     # -------------------------------------------------------------- builders
@@ -270,6 +319,22 @@ class FaultPlan:
                 )
                 for i in indices
             }
+        )
+
+    @classmethod
+    def sigkill_at(cls, point: str, indices: Iterable[int]) -> "FaultPlan":
+        """SIGKILL the process at the listed visits to ``point``.
+
+        ``point`` names a streaming-service crash point (``wal-append``,
+        ``apply``, ``snapshot``, ``post-snapshot``, ``wal-rerun``);
+        ``indices`` count visits to it within one process lifetime.
+        The kill is a real ``os.kill(os.getpid(), SIGKILL)`` — no
+        ``atexit``, no flush, no destructor runs — which is exactly what
+        the crash-equivalence gate in the kill-chaos suite recovers
+        from.
+        """
+        return cls(
+            service_faults={(point, i): FaultSpec("sigkill") for i in indices}
         )
 
     @classmethod

@@ -47,14 +47,27 @@ class RecoveryReport:
         Level checkpoints persisted by the driver.
     checkpoints_invalid:
         Checkpoint files skipped during resume because they were
-        truncated or failed validation.
+        truncated or failed validation (quarantined to ``*.corrupt``).
+    wal_torn_records:
+        Write-ahead-log records truncated or quarantined during
+        recovery because their frame failed its CRC/length checks — the
+        torn tail of a crash, never applied to state.
+    wal_replayed:
+        Journaled batches re-applied from the WAL tail after a restart
+        (the records newer than the last durable snapshot).
+    stream_reruns:
+        Full from-scratch re-detections taken by the streaming
+        service's degradation ladder (quality drift past threshold,
+        repair deadline overrun, or a repair that kept failing).
     resumed_from_level:
         Level count restored from a checkpoint, or ``None`` when the run
         started fresh.
     ladder:
         Ordered degradation-ladder transitions taken by the run guardian
-        (e.g. ``"serial-backend(phase_deadline@level0)"``), empty when
-        the run never degraded.
+        or the streaming service (e.g.
+        ``"serial-backend(phase_deadline@level0)"``,
+        ``"full-rerun(drift@seq12)"``), empty when the run never
+        degraded.
     """
 
     retries: int = 0
@@ -67,6 +80,9 @@ class RecoveryReport:
     spills: int = 0
     checkpoints_written: int = 0
     checkpoints_invalid: int = 0
+    wal_torn_records: int = 0
+    wal_replayed: int = 0
+    stream_reruns: int = 0
     resumed_from_level: int | None = None
     ladder: list[str] = field(default_factory=list)
 
@@ -83,6 +99,9 @@ class RecoveryReport:
             or self.guardian_breaches > 0
             or self.spills > 0
             or self.checkpoints_invalid > 0
+            or self.wal_torn_records > 0
+            or self.wal_replayed > 0
+            or self.stream_reruns > 0
             or self.resumed_from_level is not None
             or bool(self.ladder)
         )
@@ -128,6 +147,12 @@ class RecoveryReport:
             parts.append(f"ladder=[{' -> '.join(self.ladder)}]")
         if self.checkpoints_invalid:
             parts.append(f"checkpoints_invalid={self.checkpoints_invalid}")
+        if self.wal_torn_records:
+            parts.append(f"wal_torn_records={self.wal_torn_records}")
+        if self.wal_replayed:
+            parts.append(f"wal_replayed={self.wal_replayed}")
+        if self.stream_reruns:
+            parts.append(f"stream_reruns={self.stream_reruns}")
         if self.resumed_from_level is not None:
             parts.append(f"resumed_from_level={self.resumed_from_level}")
         return ", ".join(parts)

@@ -14,11 +14,24 @@ parameters:
 Because chunks write disjoint slices of the shared output block,
 re-execution is idempotent — a recovered run is bit-identical to a
 fault-free one, which is what the chaos suite asserts.
+
+Backoffs can additionally carry *decorrelated jitter* (``jitter=True``):
+when a shared fault (a dead worker host, a full disk, an overloaded
+service) fails many chunks at once, a deterministic schedule wakes every
+retry at the same instant and the herd stampedes the same resource
+again.  Jittered delays follow the decorrelated-jitter rule
+``d_k = min(cap, uniform(base, 3·d_{k-1}))`` with the random draw keyed
+by ``(jitter_seed, token, retry)`` — a pure function of its inputs, so
+tests stay deterministic while distinct ``token`` values (the pool
+passes the chunk's offset, the streaming service its batch sequence
+number) spread retries apart in time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 __all__ = ["RetryPolicy"]
 
@@ -43,6 +56,15 @@ class RetryPolicy:
         terminated and the chunk is treated as failed.  ``None`` disables
         deadline enforcement (the default — a healthy chunk's duration is
         workload-dependent).
+    jitter:
+        Randomize each delay with the decorrelated-jitter rule so
+        simultaneous failures don't retry in lockstep.  Off by default:
+        the undecorated schedule is exactly the historical capped
+        exponential.
+    jitter_seed:
+        Seed of the jitter's random draws.  Every delay is a pure
+        function of ``(jitter_seed, token, retry)``, so a fixed seed
+        keeps :meth:`delays` (and any test built on it) deterministic.
     """
 
     max_retries: int = 3
@@ -50,6 +72,8 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     backoff_cap_s: float = 1.0
     chunk_timeout_s: float | None = None
+    jitter: bool = False
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -63,18 +87,44 @@ class RetryPolicy:
         if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0:
             raise ValueError("chunk_timeout_s must be positive or None")
 
-    def backoff_s(self, retry: int) -> float:
-        """Backoff before the ``retry``-th re-execution (1-based)."""
+    def backoff_s(self, retry: int, *, token: int = 0) -> float:
+        """Backoff before the ``retry``-th re-execution (1-based).
+
+        ``token`` identifies the retrying unit (chunk offset, batch
+        sequence number, …); with :attr:`jitter` enabled, different
+        tokens draw different delays so synchronized failures fan out
+        instead of thundering back together.  Without jitter the token
+        is ignored and the schedule is the capped exponential.
+        """
         if retry < 1:
             raise ValueError("retry numbers are 1-based")
-        return min(
-            self.backoff_cap_s,
-            self.backoff_base_s * self.backoff_factor ** (retry - 1),
-        )
+        if not self.jitter:
+            return min(
+                self.backoff_cap_s,
+                self.backoff_base_s * self.backoff_factor ** (retry - 1),
+            )
+        # Decorrelated jitter: d_k = min(cap, uniform(base, 3*d_{k-1})),
+        # d_0 = base.  Each draw is keyed by (seed, token, k) alone, so
+        # the whole schedule is a pure function of its arguments —
+        # independent of call order, reproducible in tests.
+        delay = self.backoff_base_s
+        for k in range(1, retry + 1):
+            r = float(
+                np.random.default_rng(
+                    [int(self.jitter_seed), int(token), k]
+                ).random()
+            )
+            lo = self.backoff_base_s
+            hi = max(3.0 * delay, lo)
+            delay = min(self.backoff_cap_s, lo + r * (hi - lo))
+        return delay
 
-    def delays(self) -> tuple[float, ...]:
+    def delays(self, *, token: int = 0) -> tuple[float, ...]:
         """The full backoff schedule, one entry per allowed retry."""
-        return tuple(self.backoff_s(k) for k in range(1, self.max_retries + 1))
+        return tuple(
+            self.backoff_s(k, token=token)
+            for k in range(1, self.max_retries + 1)
+        )
 
     @classmethod
     def none(cls) -> "RetryPolicy":

@@ -1,0 +1,53 @@
+"""Streaming community detection: WAL-journaled incremental updates.
+
+The batch pipeline (:mod:`repro.core`) answers "what are the communities
+of this graph"; this package answers "keep the communities current while
+the graph changes".  It follows the agglomerative paper's own outlook —
+the authors close §VI with streaming graphs as the natural next step for
+their matching-based agglomeration — and the same architecture style as
+the rest of the repo: small single-purpose modules behind explicit
+durability contracts.
+
+* :mod:`repro.stream.delta` — edge insert/delete batches and the
+  canonical dynamic edge multiset they mutate;
+* :mod:`repro.stream.wal` — the append-only, CRC-checksummed,
+  segment-rotated write-ahead log those batches are journaled to
+  *before* any in-memory state changes;
+* :mod:`repro.stream.store` — validated, quarantining snapshot
+  persistence of the service state (the durable base WAL replay starts
+  from);
+* :mod:`repro.stream.service` — :class:`DetectionService`, the
+  journal-then-apply driver that repairs only the neighborhoods a batch
+  touched and escalates to a full re-detection when quality drifts;
+* :mod:`repro.stream.replay` — the edge-log replay harness behind the
+  ``repro serve`` / ``repro replay`` CLI verbs and the kill-chaos CI
+  gate.
+
+Robustness contract: SIGKILL the process anywhere, restart, and the
+recovered partition is bit-identical to an uninterrupted run over the
+same edge log (see docs/STREAMING.md for the proof obligations).
+"""
+
+from repro.stream.delta import EdgeBatch, EdgeStore, decode_batch, encode_batch
+from repro.stream.replay import ReplayHarness, generate_edge_log, read_edge_log
+from repro.stream.service import BatchResult, DetectionService, StreamConfig
+from repro.stream.store import ServiceState, SnapshotStore
+from repro.stream.wal import WalRecord, WalRecovery, WriteAheadLog
+
+__all__ = [
+    "EdgeBatch",
+    "EdgeStore",
+    "encode_batch",
+    "decode_batch",
+    "WriteAheadLog",
+    "WalRecord",
+    "WalRecovery",
+    "SnapshotStore",
+    "ServiceState",
+    "DetectionService",
+    "StreamConfig",
+    "BatchResult",
+    "ReplayHarness",
+    "generate_edge_log",
+    "read_edge_log",
+]

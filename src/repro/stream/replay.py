@@ -1,0 +1,337 @@
+"""Edge-log replay: the harness behind ``repro serve`` / ``repro replay``.
+
+An *edge log* is the streaming input fixture: a line-oriented text file
+of timestamped edge events, grouped into batches by timestamp::
+
+    # repro-edge-log v1
+    1 + 0 7 1.0
+    1 + 3 4 1.0
+    2 - 0 7 1.0
+
+(columns: batch timestamp, op ``+``/``-``, endpoints, weight).
+:func:`generate_edge_log` synthesizes one deterministically — planted
+block communities whose membership rotates over time, so modularity
+genuinely drifts and the service's full-rerun rung earns its keep —
+and :func:`read_edge_log` streams it back batch by batch.
+
+:class:`ReplayHarness` drives a :class:`~repro.stream.service.DetectionService`
+over a log and ledgers one entry per batch (latency, graph size,
+modularity, coverage, degradation rung) into ``BENCH_stream.json``.
+The ledger is rewritten atomically after every batch and **merged by
+sequence number** on restart, so a SIGKILL mid-run loses no completed
+entries — re-running the same command after a crash resumes where the
+journal left off and the final ledger covers every batch exactly once.
+That, plus the service's own WAL recovery, is what the kill-chaos CI
+job exercises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import GraphFormatError, ReproError
+from repro.stream.service import DetectionService
+from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
+from repro.util.atomicio import atomic_write_text
+from repro.util.log import get_logger
+
+__all__ = [
+    "EDGE_LOG_HEADER",
+    "STREAM_BENCH_FORMAT",
+    "STREAM_BENCH_VERSION",
+    "generate_edge_log",
+    "read_edge_log",
+    "read_stream_bench",
+    "ReplayHarness",
+]
+
+EDGE_LOG_HEADER = "# repro-edge-log v1"
+
+STREAM_BENCH_FORMAT = "repro-stream-bench"
+STREAM_BENCH_VERSION = 1
+
+_log = get_logger("stream.replay")
+
+
+# ------------------------------------------------------------------ edge log
+def generate_edge_log(
+    path: str | os.PathLike,
+    *,
+    n_batches: int = 24,
+    batch_size: int = 64,
+    n_vertices: int = 96,
+    n_blocks: int = 4,
+    p_intra: float = 0.85,
+    p_delete: float = 0.15,
+    drift_every: int = 0,
+    seed: int = 0,
+) -> Path:
+    """Write a deterministic synthetic edge log; returns its path.
+
+    Edges are unit-weight and drawn from a planted block structure:
+    vertex ``v`` belongs to block ``(v + phase) % n_blocks`` where the
+    phase advances every ``drift_every`` batches (``0`` freezes it) —
+    each advance reshuffles membership so edges inserted under the old
+    phase become inter-community noise and modularity drifts downward
+    until the service's rerun rung re-detects.  ``p_delete`` of events
+    remove a still-live earlier edge, exercising weighted deletes.
+    """
+    if n_batches < 1 or batch_size < 1 or n_vertices < 2:
+        raise ValueError("need n_batches >= 1, batch_size >= 1, n_vertices >= 2")
+    rng = np.random.default_rng(seed)
+    live: list[tuple[int, int]] = []
+    lines = [EDGE_LOG_HEADER]
+    for t in range(1, n_batches + 1):
+        phase = (t - 1) // drift_every if drift_every else 0
+        for _ in range(batch_size):
+            if live and float(rng.random()) < p_delete:
+                k = int(rng.integers(len(live)))
+                i, j = live[k]
+                live[k] = live[-1]
+                live.pop()
+                lines.append(f"{t} - {i} {j} 1.0")
+                continue
+            block = int(rng.integers(n_blocks))
+            members = np.arange(n_vertices)
+            members = members[(members + phase) % n_blocks == block]
+            i = int(members[rng.integers(len(members))])
+            if float(rng.random()) < p_intra and len(members) > 1:
+                j = i
+                while j == i:
+                    j = int(members[rng.integers(len(members))])
+            else:
+                j = i
+                while j == i:
+                    j = int(rng.integers(n_vertices))
+            live.append((i, j))
+            lines.append(f"{t} + {i} {j} 1.0")
+    return atomic_write_text(path, "\n".join(lines) + "\n")
+
+
+def read_edge_log(
+    path: str | os.PathLike,
+) -> Iterator[tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Yield ``(t, i, j, w, op)`` per batch, in timestamp order.
+
+    Raises :class:`~repro.errors.GraphFormatError` on a malformed log
+    (bad header, short line, non-monotone timestamps).
+    """
+    p = Path(os.fspath(path))
+    try:
+        raw = p.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise GraphFormatError(f"{p}: unreadable edge log: {exc}") from exc
+    lines = raw.splitlines()
+    if not lines or lines[0].strip() != EDGE_LOG_HEADER:
+        raise GraphFormatError(
+            f"{p}: missing edge-log header {EDGE_LOG_HEADER!r}"
+        )
+    cur_t: int | None = None
+    ii: list[int] = []
+    jj: list[int] = []
+    ww: list[float] = []
+    op: list[int] = []
+
+    def _flush():
+        return (
+            cur_t,
+            np.asarray(ii, dtype=VERTEX_DTYPE),
+            np.asarray(jj, dtype=VERTEX_DTYPE),
+            np.asarray(ww, dtype=WEIGHT_DTYPE),
+            np.asarray(op, dtype=np.int8),
+        )
+
+    for n, line in enumerate(lines[1:], start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 5 or parts[1] not in ("+", "-"):
+            raise GraphFormatError(f"{p}:{n}: malformed edge event {line!r}")
+        try:
+            t = int(parts[0])
+            i, j = int(parts[2]), int(parts[3])
+            w = float(parts[4])
+        except ValueError as exc:
+            raise GraphFormatError(
+                f"{p}:{n}: malformed edge event {line!r}"
+            ) from exc
+        if cur_t is not None and t < cur_t:
+            raise GraphFormatError(
+                f"{p}:{n}: timestamps must be non-decreasing "
+                f"({t} after {cur_t})"
+            )
+        if cur_t is not None and t != cur_t:
+            yield _flush()
+            ii, jj, ww, op = [], [], [], []
+        cur_t = t
+        ii.append(i)
+        jj.append(j)
+        ww.append(w)
+        op.append(1 if parts[1] == "+" else -1)
+    if cur_t is not None:
+        yield _flush()
+
+
+# ------------------------------------------------------------------- ledger
+def read_stream_bench(path: str | os.PathLike) -> dict:
+    """Load and validate a ``BENCH_stream.json`` ledger.
+
+    Raises :class:`~repro.errors.ReproError` on a torn, bit-flipped, or
+    wrong-format file — a corrupt ledger must never be silently merged.
+    """
+    p = Path(os.fspath(path))
+    try:
+        data = json.loads(p.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ReproError(f"{p}: unreadable stream bench ledger: {exc}") from exc
+    if (
+        not isinstance(data, dict)
+        or data.get("format") != STREAM_BENCH_FORMAT
+        or data.get("version") != STREAM_BENCH_VERSION
+        or not isinstance(data.get("entries"), list)
+    ):
+        raise ReproError(f"{p}: not a {STREAM_BENCH_FORMAT} v{STREAM_BENCH_VERSION} ledger")
+    return data
+
+
+class ReplayHarness:
+    """Streams an edge log through a service, ledgering every batch.
+
+    The harness owns the service lifecycle: :meth:`run` opens it
+    (running crash recovery), ingests every batch the service has not
+    already applied, and closes it.  Killed mid-run, the same harness
+    invocation re-run against the same directory picks up after the
+    last recovered batch — the ledger merge keeps earlier entries.
+    """
+
+    def __init__(
+        self,
+        service: DetectionService,
+        *,
+        bench_path: str | os.PathLike | None = None,
+        report_path: str | os.PathLike | None = None,
+    ) -> None:
+        self.service = service
+        self.bench_path = bench_path
+        self.report_path = report_path
+
+    # ----------------------------------------------------------- internals
+    def _load_entries(self) -> dict[int, dict]:
+        if self.bench_path is None or not Path(self.bench_path).exists():
+            return {}
+        try:
+            data = read_stream_bench(self.bench_path)
+        except ReproError as exc:
+            _log.warning("discarding unusable bench ledger: %s", exc)
+            return {}
+        return {int(e["seq"]): e for e in data["entries"] if "seq" in e}
+
+    def _write_bench(self, entries: dict[int, dict]) -> None:
+        if self.bench_path is None:
+            return
+        payload = {
+            "format": STREAM_BENCH_FORMAT,
+            "version": STREAM_BENCH_VERSION,
+            "entries": [entries[k] for k in sorted(entries)],
+            "recovery": self.service.report.as_dict(),
+            "timeline": self.service.timeline.as_dict(),
+        }
+        atomic_write_text(
+            self.bench_path, json.dumps(payload, indent=2) + "\n"
+        )
+
+    def _write_report(self) -> None:
+        if self.report_path is None:
+            return
+        atomic_write_text(
+            self.report_path,
+            json.dumps(
+                {
+                    "recovery": self.service.report.as_dict(),
+                    "summary": self.service.report.summary(),
+                    "batch_seq": self.service.batch_seq,
+                    "wal_seq": self.service.wal_seq,
+                    "n_vertices": self.service.n_vertices,
+                    "n_communities": self.service.n_communities,
+                },
+                indent=2,
+            )
+            + "\n",
+        )
+
+    # ----------------------------------------------------------------- run
+    def run(
+        self, log_path: str | os.PathLike, *, max_batches: int | None = None
+    ) -> dict:
+        """Replay the log end to end; returns a JSON-ready summary."""
+        entries = self._load_entries()
+        svc = self.service
+        svc.open()
+        # Backfill batches that recovery (not this harness invocation)
+        # accounted for: WAL-tail replays carry full timeline samples;
+        # batches folded into the snapshot before a crash could ledger
+        # them get a minimal recovered stub.  Either way the final
+        # ledger covers sequences 1..batch_seq with no holes.
+        for sample in svc.timeline.batches:
+            if sample.replayed and sample.seq not in entries:
+                entries[sample.seq] = {
+                    "seq": sample.seq,
+                    "latency_s": sample.latency_s,
+                    "n_vertices": sample.n_vertices,
+                    "n_edges": sample.n_edges,
+                    "n_communities": sample.n_communities,
+                    "modularity": sample.modularity,
+                    "coverage": sample.coverage,
+                    "rerun": sample.rerun,
+                    "recovered": True,
+                }
+        for t in range(1, svc.batch_seq + 1):
+            if t not in entries:
+                entries[t] = {"seq": t, "recovered": True}
+        n_ingested = 0
+        n_skipped = 0
+        last = None
+        for t, i, j, w, op in read_edge_log(log_path):
+            if max_batches is not None and t > max_batches:
+                break
+            if t <= svc.batch_seq:
+                n_skipped += 1
+                continue
+            res = svc.ingest(i, j, w, op, seq=t)
+            last = res
+            n_ingested += 1
+            entries[res.seq] = {
+                "seq": res.seq,
+                "latency_s": res.latency_s,
+                "n_vertices": res.n_vertices,
+                "n_edges": res.n_edges,
+                "n_communities": res.n_communities,
+                "modularity": res.modularity,
+                "coverage": res.coverage,
+                "rerun": res.rerun,
+                "n_unmatched_deletes": res.n_unmatched_deletes,
+            }
+            # Rewritten after *every* batch: a kill at any instant
+            # leaves a complete, loadable ledger of all finished work.
+            self._write_bench(entries)
+        svc.close()
+        self._write_bench(entries)
+        self._write_report()
+        summary = {
+            "n_batches_ingested": n_ingested,
+            "n_batches_recovered_or_skipped": n_skipped,
+            "batch_seq": svc.batch_seq,
+            "n_vertices": svc.n_vertices,
+            "n_edges": svc.store.n_edges,
+            "n_communities": svc.n_communities,
+            "modularity": last.modularity if last is not None else None,
+            "coverage": last.coverage if last is not None else None,
+            "recovery": svc.report.as_dict(),
+        }
+        return summary

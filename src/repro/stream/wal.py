@@ -1,0 +1,570 @@
+"""Append-only, CRC-checksummed, segment-rotated write-ahead log.
+
+The streaming service journals every edge batch (and every degradation
+decision) here *before* mutating any in-memory state, so a crash at any
+instruction loses at most work that can be recomputed from the log.
+
+On-disk layout (one directory per log)::
+
+    seg_00000001.wal        sealed segment (immutable)
+    seg_00000002.wal.open   active segment (append target, at most one)
+    manifest.json           sealed-segment index, atomically rewritten
+
+Each segment starts with a 16-byte header — magic ``WSEG``, u32
+version, u64 *base sequence* (the sequence number of the segment's
+first record, fixed at creation) — followed by records.  The base
+sequence is what keeps numbering monotone across truncation: even a
+log whose every record has been folded into a snapshot and dropped
+still knows, from its empty active segment alone, where the next
+sequence continues.  A record is a 28-byte frame header —
+magic ``WREC``, u64 sequence number, u8 kind, 3 pad bytes, u32 payload
+length, u32 payload CRC32, u32 CRC32 *of the first 24 header bytes* —
+followed by the payload.  The double CRC means a torn or bit-flipped
+tail is detected before the payload length is ever trusted.
+
+Sequence numbers are monotone and contiguous across the whole log
+(segments included), which gives replay its exactly-once anchor: a
+snapshot records the last sequence folded into it and recovery replays
+strictly greater sequences only.
+
+Recovery (:meth:`WriteAheadLog.recover`) scans segments in index order
+and stops at the first frame that fails any check.  The good prefix is
+kept; the torn remainder of that segment is quarantined to a sidecar
+``.torn`` file and the segment truncated to the last good frame; any
+*later* segments are quarantined whole (``*.corrupt`` — same rename
+rule as checkpoint quarantine).  Torn tails are expected crash debris
+and never an error.  What *is* an error
+(:class:`~repro.errors.WalError`) is structural impossibility: sequence
+numbers running backwards, two active segments, an unsupported segment
+version — signs the directory holds something other than one log's
+history.
+
+Sealing is atomic: the active file is ``os.replace``-d to its sealed
+name and the manifest rewritten through
+:func:`~repro.util.atomicio.atomic_write_text`, so readers see either
+the old or the new manifest, never a torn one.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import WalError
+from repro.resilience.checkpoint import quarantine_file
+from repro.util.atomicio import atomic_write_bytes, atomic_write_text
+from repro.util.log import get_logger
+
+__all__ = [
+    "WAL_VERSION",
+    "KIND_BATCH",
+    "KIND_RERUN",
+    "WalRecord",
+    "WalRecovery",
+    "WriteAheadLog",
+]
+
+#: On-disk segment format version.
+WAL_VERSION = 1
+
+#: Record kinds: an edge batch to apply, or a journaled control decision
+#: (full-rerun rung) replay must reproduce.
+KIND_BATCH = 1
+KIND_RERUN = 2
+_KNOWN_KINDS = (KIND_BATCH, KIND_RERUN)
+
+_RECORD_MAGIC = b"WREC"
+_SEGMENT_MAGIC = b"WSEG"
+#: magic, seq, kind, pad*3, payload_len, payload_crc32, header_crc32
+_HEADER = struct.Struct("<4sQB3xIII")
+#: magic, version, base sequence of the segment's first record
+_SEG_HEADER = struct.Struct("<4sIQ")
+
+_log = get_logger("stream.wal")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One journaled record: sequence number, kind, opaque payload."""
+
+    seq: int
+    kind: int
+    payload: bytes = field(repr=False)
+
+
+@dataclass
+class WalRecovery:
+    """What one :meth:`WriteAheadLog.recover` pass found and repaired."""
+
+    #: First and last surviving sequence numbers (0 when the log is empty).
+    first_seq: int = 0
+    last_seq: int = 0
+    n_records: int = 0
+    #: Truncation/quarantine events (a torn tail counts once; each whole
+    #: segment quarantined after it counts once more).
+    n_torn: int = 0
+    truncated_bytes: int = 0
+    quarantined: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.n_torn == 0 and not self.quarantined
+
+
+@dataclass
+class _SegmentMeta:
+    index: int
+    path: Path
+    sealed: bool
+    base_seq: int = 1
+    first_seq: int = 0
+    last_seq: int = 0
+    n_records: int = 0
+
+
+def _scan_segment_bytes(
+    data: bytes, expected: int | None
+) -> tuple[int, list[WalRecord], int, str | None]:
+    """Parse frames from raw segment bytes.
+
+    Returns ``(base_seq, records, good_end_offset, torn_reason)``;
+    ``torn_reason=None`` means the segment parsed to its last byte.
+    Raises :class:`WalError` on a sequence regression (``seq`` or a
+    segment base running *backwards* is structural corruption, not a
+    torn tail).
+    """
+    if len(data) < _SEG_HEADER.size:
+        return 0, [], 0, "short segment header"
+    magic, version, base_seq = _SEG_HEADER.unpack_from(data, 0)
+    if magic != _SEGMENT_MAGIC:
+        return 0, [], 0, "bad segment magic"
+    if version != WAL_VERSION:
+        raise WalError(
+            f"unsupported WAL segment version {version} "
+            f"(expected {WAL_VERSION})"
+        )
+    if expected is not None:
+        if base_seq < expected:
+            raise WalError(
+                f"WAL sequence regression: segment base {base_seq} "
+                f"after record {expected - 1}"
+            )
+        if base_seq > expected:
+            return base_seq, [], 0, (
+                f"segment base gap: expected {expected}, found {base_seq}"
+            )
+    else:
+        expected = base_seq
+    records: list[WalRecord] = []
+    pos = _SEG_HEADER.size
+    while pos < len(data):
+        if pos + _HEADER.size > len(data):
+            return base_seq, records, pos, "short frame header"
+        header = data[pos : pos + _HEADER.size]
+        rmagic, seq, kind, plen, pcrc, hcrc = _HEADER.unpack(header)
+        if rmagic != _RECORD_MAGIC:
+            return base_seq, records, pos, "bad frame magic"
+        if zlib.crc32(header[:24]) != hcrc:
+            return base_seq, records, pos, "frame header CRC mismatch"
+        if kind not in _KNOWN_KINDS:
+            return base_seq, records, pos, f"unknown record kind {kind}"
+        end = pos + _HEADER.size + plen
+        if end > len(data):
+            return base_seq, records, pos, "short payload"
+        payload = data[pos + _HEADER.size : end]
+        if zlib.crc32(payload) != pcrc:
+            return base_seq, records, pos, "payload CRC mismatch"
+        if seq < expected:
+            raise WalError(
+                f"WAL sequence regression: record {seq} after "
+                f"{expected - 1}"
+            )
+        if seq > expected:
+            return base_seq, records, pos, (
+                f"sequence gap: expected {expected}, found {seq}"
+            )
+        records.append(WalRecord(seq=seq, kind=kind, payload=payload))
+        expected = seq + 1
+        pos = end
+    return base_seq, records, pos, None
+
+
+class WriteAheadLog:
+    """One directory of WAL segments; call :meth:`recover` before use."""
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        segment_max_bytes: int = 1 << 20,
+    ) -> None:
+        if segment_max_bytes < 4096:
+            raise ValueError("segment_max_bytes must be at least 4096")
+        self.directory = Path(directory)
+        self.segment_max_bytes = int(segment_max_bytes)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise WalError(f"cannot create WAL directory: {exc}") from exc
+        self._fh = None
+        self._next_seq = 1
+        self._sealed: list[_SegmentMeta] = []
+        self._active: _SegmentMeta | None = None
+        #: Outcome of the most recent :meth:`recover` (``None`` before).
+        self.last_recovery: WalRecovery | None = None
+
+    # --------------------------------------------------------------- paths
+    def _sealed_path(self, index: int) -> Path:
+        return self.directory / f"seg_{index:08d}.wal"
+
+    def _open_path(self, index: int) -> Path:
+        return self.directory / f"seg_{index:08d}.wal.open"
+
+    def _segments_on_disk(self) -> list[_SegmentMeta]:
+        out: list[_SegmentMeta] = []
+        for name in sorted(os.listdir(self.directory)):
+            if name.endswith(".wal"):
+                stem = name[: -len(".wal")]
+                sealed = True
+            elif name.endswith(".wal.open"):
+                stem = name[: -len(".wal.open")]
+                sealed = False
+            else:
+                continue
+            if not (stem.startswith("seg_") and stem[4:].isdigit()):
+                continue
+            out.append(
+                _SegmentMeta(
+                    index=int(stem[4:]),
+                    path=self.directory / name,
+                    sealed=sealed,
+                )
+            )
+        out.sort(key=lambda m: m.index)
+        return out
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest durable record (0 when empty)."""
+        return self._next_seq - 1
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    # ------------------------------------------------------------- recover
+    def recover(self) -> WalRecovery:
+        """Scan, repair, and open the log for appending.
+
+        Idempotent; a clean log recovers to itself.  See the module
+        docstring for the truncate/quarantine rules.
+        """
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        self._sealed = []
+        self._active = None
+        rec = WalRecovery()
+        segs = self._segments_on_disk()
+        opens = [m for m in segs if not m.sealed]
+        if len(opens) > 1:
+            raise WalError(
+                f"{self.directory}: {len(opens)} active segments "
+                "(at most one .open file is legal)"
+            )
+        if opens and opens[0] is not segs[-1]:
+            raise WalError(
+                f"{opens[0].path}: active segment is not the newest "
+                "(sealed segments follow it)"
+            )
+
+        expected: int | None = None
+        torn_at: int | None = None
+        torn_salvaged = False
+        for k, meta in enumerate(segs):
+            data = meta.path.read_bytes()
+            base_seq, records, good_end, reason = _scan_segment_bytes(
+                data, expected
+            )
+            meta.base_seq = base_seq if base_seq else meta.base_seq
+            if records:
+                meta.first_seq = records[0].seq
+                meta.last_seq = records[-1].seq
+                meta.n_records = len(records)
+                if rec.first_seq == 0:
+                    rec.first_seq = records[0].seq
+                rec.last_seq = records[-1].seq
+                rec.n_records += len(records)
+                expected = records[-1].seq + 1
+            elif reason is None:
+                # Healthy but empty segment: its base still pins the
+                # next sequence number.
+                expected = base_seq
+            if reason is not None:
+                rec.n_torn += 1
+                if good_end > 0:
+                    # Salvage the good prefix: quarantine the torn bytes
+                    # to a sidecar, then cut the segment at the last
+                    # good frame.
+                    tail = data[good_end:]
+                    torn_path = atomic_write_bytes(
+                        meta.path.with_name(meta.path.name + ".torn"), tail
+                    )
+                    rec.quarantined.append(str(torn_path))
+                    rec.truncated_bytes += len(tail)
+                    with open(meta.path, "r+b") as fh:
+                        fh.truncate(good_end)
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    torn_salvaged = True
+                    _log.debug(
+                        "truncated %s at byte %d (%s)",
+                        meta.path,
+                        good_end,
+                        reason,
+                    )
+                else:
+                    # Nothing salvageable in this segment.
+                    qp = quarantine_file(meta.path)
+                    rec.quarantined.append(str(qp))
+                    rec.truncated_bytes += len(data)
+                torn_at = k
+                break
+
+        if torn_at is not None:
+            # Everything after the first torn frame is untrustworthy —
+            # it was written after the bytes we just discarded.
+            for meta in segs[torn_at + 1 :]:
+                qp = quarantine_file(meta.path)
+                rec.quarantined.append(str(qp))
+                rec.n_torn += 1
+            segs = segs[: torn_at + 1] if torn_salvaged else segs[:torn_at]
+
+        self._sealed = [m for m in segs if m.sealed]
+        if segs:
+            last = segs[-1]
+            # Records are contiguous from the base, so base + count is
+            # the next sequence — correct even for an empty active
+            # segment left behind by snapshot truncation.
+            self._next_seq = last.base_seq + last.n_records
+        else:
+            self._next_seq = 1
+
+        # Reopen (or create) the active segment.
+        tail_open = [m for m in segs if not m.sealed]
+        if tail_open:
+            self._active = tail_open[0]
+            self._fh = open(self._active.path, "ab")
+        else:
+            self._new_active_segment(segs[-1].index + 1 if segs else 1)
+        self._write_manifest()
+        if not rec.clean:
+            _log.warning(
+                "WAL recovery repaired %d torn event(s), quarantined: %s",
+                rec.n_torn,
+                ", ".join(rec.quarantined),
+            )
+        self.last_recovery = rec
+        return rec
+
+    def _new_active_segment(self, index: int) -> None:
+        path = self._open_path(index)
+        fh = open(path, "wb")
+        fh.write(_SEG_HEADER.pack(_SEGMENT_MAGIC, WAL_VERSION, self._next_seq))
+        fh.flush()
+        os.fsync(fh.fileno())
+        self._fh = fh
+        self._active = _SegmentMeta(
+            index=index, path=path, sealed=False, base_seq=self._next_seq
+        )
+
+    def _write_manifest(self) -> None:
+        import json
+
+        atomic_write_text(
+            self.directory / "manifest.json",
+            json.dumps(
+                {
+                    "format": "repro-wal-manifest",
+                    "version": WAL_VERSION,
+                    "sealed": [
+                        {
+                            "name": m.path.name,
+                            "first_seq": m.first_seq,
+                            "last_seq": m.last_seq,
+                            "n_records": m.n_records,
+                        }
+                        for m in self._sealed
+                    ],
+                },
+                indent=2,
+            )
+            + "\n",
+        )
+
+    def ensure_seq_floor(self, seq: int) -> None:
+        """Guarantee future appends get sequence numbers above ``seq``.
+
+        Used after recovery when a durable snapshot proves sequences up
+        to ``seq`` once existed: an *empty* log (e.g. its directory was
+        lost while snapshots survived) is fast-forwarded by recreating
+        the active segment with a higher base.  A log that still holds
+        records at or below the floor is left alone — the service's
+        tail-gap check decides whether that history is consistent.
+        """
+        if self._fh is None:
+            raise WalError("ensure_seq_floor on a closed/unrecovered log")
+        assert self._active is not None
+        if self._next_seq > seq:
+            return
+        if self._sealed or self._active.n_records:
+            return
+        index = self._active.index
+        self._fh.close()
+        self._fh = None
+        self._active.path.unlink()
+        self._next_seq = seq + 1
+        self._new_active_segment(index)
+
+    # -------------------------------------------------------------- append
+    def append(self, payload: bytes, *, kind: int = KIND_BATCH) -> WalRecord:
+        """Durably journal one record; returns it with its sequence.
+
+        The frame is flushed and fsynced before this returns — the
+        journal-before-mutate contract of the service depends on it.
+        """
+        if self._fh is None:
+            raise WalError(
+                "append on a closed/unrecovered log (call recover() first)"
+            )
+        if kind not in _KNOWN_KINDS:
+            raise ValueError(f"unknown record kind {kind}")
+        assert self._active is not None
+        if (
+            self._active.n_records > 0
+            and self._fh.tell() >= self.segment_max_bytes
+        ):
+            self._rotate()
+        seq = self._next_seq
+        header = _HEADER.pack(
+            _RECORD_MAGIC, seq, kind, len(payload), zlib.crc32(payload), 0
+        )
+        header = header[:24] + struct.pack("<I", zlib.crc32(header[:24]))
+        self._fh.write(header + payload)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._next_seq = seq + 1
+        if self._active.n_records == 0:
+            self._active.first_seq = seq
+        self._active.last_seq = seq
+        self._active.n_records += 1
+        return WalRecord(seq=seq, kind=kind, payload=payload)
+
+    def _rotate(self) -> None:
+        assert self._active is not None and self._fh is not None
+        sealed = self._seal_active()
+        self._new_active_segment(sealed.index + 1)
+        self._write_manifest()
+
+    def _seal_active(self) -> _SegmentMeta:
+        """Atomically promote the active segment to sealed."""
+        assert self._active is not None and self._fh is not None
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        self._fh = None
+        meta = self._active
+        sealed_path = self._sealed_path(meta.index)
+        os.replace(meta.path, sealed_path)
+        meta.path = sealed_path
+        meta.sealed = True
+        self._sealed.append(meta)
+        self._active = None
+        return meta
+
+    def seal(self) -> None:
+        """Seal the active segment (if it holds records) and open a new one."""
+        if self._fh is None:
+            raise WalError("seal on a closed/unrecovered log")
+        assert self._active is not None
+        if self._active.n_records == 0:
+            return
+        self._rotate()
+
+    # ---------------------------------------------------------------- read
+    def records(self, *, start_seq: int = 1) -> Iterator[WalRecord]:
+        """Iterate durable records with ``seq >= start_seq`` in order.
+
+        Requires a recovered log (so every surviving frame is known
+        good); hitting a bad frame here raises :class:`WalError`
+        because post-recovery corruption means concurrent mutation.
+        """
+        if self._fh is not None:
+            self._fh.flush()
+        segs = list(self._sealed)
+        if self._active is not None:
+            segs = segs + [self._active]
+        expected: int | None = None
+        for meta in segs:
+            if not meta.path.exists():
+                continue
+            _base, records, _good_end, reason = _scan_segment_bytes(
+                meta.path.read_bytes(), expected
+            )
+            if reason is not None:
+                raise WalError(
+                    f"{meta.path}: bad frame after recovery ({reason}) — "
+                    "log mutated underneath the service"
+                )
+            for r in records:
+                if r.seq >= start_seq:
+                    yield r
+            if records:
+                expected = records[-1].seq + 1
+
+    # ------------------------------------------------------------ truncate
+    def truncate_upto(self, seq: int) -> int:
+        """Drop whole segments fully covered by a durable snapshot.
+
+        Removes every segment whose records all have ``seq`` at or
+        below the given sequence (sealing the active segment first when
+        it too is fully covered).  Partially covered segments stay —
+        truncation is segment-granular so it never rewrites record
+        bytes.  Returns the number of segments removed.
+        """
+        if self._fh is None:
+            raise WalError("truncate on a closed/unrecovered log")
+        assert self._active is not None
+        if self._active.n_records > 0 and self._active.last_seq <= seq:
+            self._rotate()
+        removed = 0
+        keep: list[_SegmentMeta] = []
+        for meta in self._sealed:
+            if meta.n_records > 0 and meta.last_seq <= seq:
+                meta.path.unlink()
+                removed += 1
+            else:
+                keep.append(meta)
+        self._sealed = keep
+        if removed:
+            self._write_manifest()
+        return removed
+
+    # --------------------------------------------------------------- close
+    def close(self) -> None:
+        """Flush and close; the log stays on disk, appends now error."""
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -15,6 +15,10 @@ from __future__ import annotations
 
 import os
 import signal
+import sys
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -63,6 +67,88 @@ def pytest_runtest_call(item: pytest.Item):
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+
+
+# ------------------------------------------------ atomic-write faults
+@dataclass
+class _WriteFault:
+    """One armed corruption, matched by substring of the final path."""
+
+    match: str
+    mode: str  # "torn" | "bitflip"
+    keep: float = 0.5  # torn: fraction of committed bytes surviving
+    offset: int | None = None  # bitflip: byte to flip (default: middle)
+    fired: bool = False
+
+
+class AtomicWriteFaults:
+    """Corrupts files *after* ``atomic_write`` commits them.
+
+    Simulates what the atomic-rename contract cannot prevent — media
+    corruption of a file at rest — so reader-side validation (CRCs,
+    schema checks, quarantine) can be exercised against every consumer
+    through one fixture.  Each armed fault fires once, on the first
+    committed path containing its ``match`` substring.
+    """
+
+    def __init__(self) -> None:
+        self.faults: list[_WriteFault] = []
+        self.corrupted: list[Path] = []
+
+    def torn(self, match: str, *, keep: float = 0.5) -> None:
+        """Arm a truncation: only ``keep`` of the bytes survive."""
+        self.faults.append(_WriteFault(match, "torn", keep=keep))
+
+    def bitflip(self, match: str, *, offset: int | None = None) -> None:
+        """Arm a single flipped byte (default: mid-file)."""
+        self.faults.append(_WriteFault(match, "bitflip", offset=offset))
+
+    def _apply(self, path: Path) -> None:
+        for f in self.faults:
+            if f.fired or f.match not in str(path):
+                continue
+            f.fired = True
+            data = path.read_bytes()
+            if not data:
+                return
+            if f.mode == "torn":
+                path.write_bytes(data[: int(len(data) * f.keep)])
+            else:
+                k = f.offset if f.offset is not None else len(data) // 2
+                corrupt = bytearray(data)
+                corrupt[k] ^= 0xFF
+                path.write_bytes(bytes(corrupt))
+            self.corrupted.append(path)
+            return
+
+
+@pytest.fixture
+def atomic_write_faults(monkeypatch):
+    """Intercept every ``atomic_write`` in the tree with fault injection.
+
+    Patches the canonical writer *and* every ``repro`` module that
+    bound it by name, so all durable-artifact writers (checkpoints,
+    snapshots, ledgers, traces, status files, spill stores, WAL
+    manifests) route through the corruptor.
+    """
+    import repro.util.atomicio as aio
+
+    plan = AtomicWriteFaults()
+    real = aio.atomic_write
+
+    @contextmanager
+    def faulty(path, *, mode="w", encoding=None):
+        with real(path, mode=mode, encoding=encoding) as fh:
+            yield fh
+        plan._apply(Path(os.fspath(path)))
+
+    monkeypatch.setattr(aio, "atomic_write", faulty)
+    for name, module in list(sys.modules.items()):
+        if not name.startswith("repro"):
+            continue
+        if getattr(module, "atomic_write", None) is real:
+            monkeypatch.setattr(module, "atomic_write", faulty)
+    return plan
 
 
 @pytest.fixture

@@ -1,0 +1,257 @@
+"""At-rest corruption sweep across every ``atomic_write`` consumer.
+
+The ``atomic_write_faults`` fixture (conftest) corrupts files *after*
+they commit — a torn truncation or a flipped byte — modeling the bit
+rot and partial-sector loss the rename protocol cannot prevent.  Every
+durable artifact in the tree must then fail *loudly and recoverably*
+on reload: a typed error, a quarantine, or a discarded merge — never a
+crash, a hang, or silently-wrong data.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError, ReproError, SpillError
+from repro.metrics import Partition
+from repro.obs import Tracer, read_trace, write_trace
+from repro.obs.telemetry import TelemetrySampler, read_status
+from repro.resilience import CheckpointManager, CheckpointState
+from repro.spmatrix.spill import read_spill, write_spill
+from repro.stream.delta import EdgeStore
+from repro.stream.store import ServiceState, SnapshotStore
+from repro.types import VERTEX_DTYPE
+
+
+# --------------------------------------------------------------- fixture
+class TestFixtureSemantics:
+    def test_torn_truncates_once(self, tmp_path, atomic_write_faults):
+        from repro.util.atomicio import atomic_write_text
+
+        atomic_write_faults.torn("victim", keep=0.5)
+        p = atomic_write_text(tmp_path / "victim.json", "x" * 100)
+        assert len(p.read_bytes()) == 50
+        # One-shot: a rewrite commits clean.
+        atomic_write_text(tmp_path / "victim.json", "y" * 100)
+        assert len(p.read_bytes()) == 100
+
+    def test_bitflip_changes_one_byte(self, tmp_path, atomic_write_faults):
+        from repro.util.atomicio import atomic_write_bytes
+
+        atomic_write_faults.bitflip("blob", offset=3)
+        p = atomic_write_bytes(tmp_path / "blob.bin", bytes(range(10)))
+        data = p.read_bytes()
+        assert data[3] == 3 ^ 0xFF
+        assert bytes(data[:3]) == bytes(range(3))
+
+    def test_unmatched_paths_untouched(self, tmp_path, atomic_write_faults):
+        from repro.util.atomicio import atomic_write_text
+
+        atomic_write_faults.torn("nomatch")
+        p = atomic_write_text(tmp_path / "clean.txt", "intact")
+        assert p.read_text() == "intact"
+        assert atomic_write_faults.corrupted == []
+
+
+# ------------------------------------------------------------ checkpoints
+def _ckpt_state(graph, level=0):
+    # Identity maps keep the composed community count equal to the graph
+    # size, so the state passes semantic validation and any load failure
+    # below is attributable to the injected corruption alone.
+    return CheckpointState(
+        level=level,
+        graph=graph,
+        maps=[
+            np.arange(graph.n_vertices, dtype=VERTEX_DTYPE)
+            for _ in range(level)
+        ],
+        member_counts=np.ones(graph.n_vertices, dtype=VERTEX_DTYPE),
+        level_stats=[{"level": k} for k in range(level)],
+        scorer_name="modularity",
+    )
+
+
+class TestCheckpointCorruption:
+    def test_control_both_levels_load_clean(self, karate, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(_ckpt_state(karate, level=0))
+        manager.save(_ckpt_state(karate, level=1))
+        state, n_invalid = manager.load_latest()
+        assert n_invalid == 0
+        assert state is not None and state.level == 1
+
+    # A flip at offset 0 breaks the first local-header magic of the zip
+    # container, which every ``np.load`` checks — unlike a mid-file flip,
+    # which can land in inter-member slack the reader never touches.
+    @pytest.mark.parametrize(
+        "mode,kwargs", [("torn", {}), ("bitflip", {"offset": 0})]
+    )
+    def test_quarantined_and_older_survives(
+        self, karate, tmp_path, atomic_write_faults, mode, kwargs
+    ):
+        manager = CheckpointManager(tmp_path)
+        manager.save(_ckpt_state(karate, level=0))
+        getattr(atomic_write_faults, mode)("level_00001", **kwargs)
+        manager.save(_ckpt_state(karate, level=1))
+        assert atomic_write_faults.corrupted  # the fault must have fired
+        state, n_invalid = manager.load_latest()
+        assert n_invalid == 1
+        assert state is not None and state.level == 0
+        assert list(tmp_path.glob("*.corrupt"))
+
+    def test_payload_bitflip_caught_by_member_crc(
+        self, karate, tmp_path, atomic_write_faults
+    ):
+        # A flip *inside* an array's compressed payload must be caught by
+        # the container's per-member CRC-32, not silently resumed from.
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(_ckpt_state(karate, level=1))
+        import zipfile
+
+        import struct
+
+        with zipfile.ZipFile(path) as zf:
+            info = zf.getinfo("ei.npy")
+        data = bytearray(path.read_bytes())
+        # Local file header: name/extra lengths live at offsets 26 and 28.
+        fn_len, extra_len = struct.unpack_from(
+            "<HH", data, info.header_offset + 26
+        )
+        payload_start = info.header_offset + 30 + fn_len + extra_len
+        data[payload_start + info.compress_size // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        state, n_invalid = manager.load_latest()
+        assert n_invalid == 1 and state is None
+        assert list(tmp_path.glob("*.corrupt"))
+
+
+# --------------------------------------------------------- stream snapshots
+class TestSnapshotCorruption:
+    @pytest.mark.parametrize(
+        "mode,kwargs", [("torn", {}), ("bitflip", {"offset": 0})]
+    )
+    def test_quarantined_on_load(
+        self, tmp_path, atomic_write_faults, mode, kwargs
+    ):
+        store = SnapshotStore(tmp_path)
+        edges = EdgeStore(
+            3,
+            np.array([0, 1], dtype=VERTEX_DTYPE),
+            np.array([1, 2], dtype=VERTEX_DTYPE),
+            np.array([1.0, 1.0]),
+        )
+        labels = Partition.from_labels(np.array([0, 0, 1])).labels
+        getattr(atomic_write_faults, mode)("snap_", **kwargs)
+        store.save(ServiceState(wal_seq=4, batch_seq=4, store=edges, labels=labels))
+        assert atomic_write_faults.corrupted  # the fault must have fired
+        state, n_invalid = store.load_latest()
+        assert state is None and n_invalid == 1
+        assert list(tmp_path.glob("*.corrupt"))
+
+
+# -------------------------------------------------------------- WAL manifest
+class TestWalManifestCorruption:
+    def test_recovery_ignores_corrupt_manifest(
+        self, tmp_path, atomic_write_faults
+    ):
+        from repro.stream.wal import WriteAheadLog
+
+        wal = WriteAheadLog(tmp_path)
+        wal.recover()
+        atomic_write_faults.bitflip("manifest.json")
+        wal.append(b"payload")  # rewrites the (now corrupted) manifest
+        wal.close()
+        # The manifest is advisory; recovery trusts only segment CRCs.
+        wal2 = WriteAheadLog(tmp_path)
+        rec = wal2.recover()
+        assert rec.clean and rec.n_records == 1
+        assert [r.payload for r in wal2.records()] == [b"payload"]
+        wal2.close()
+
+
+# ------------------------------------------------------------- bench ledgers
+class TestLedgerCorruption:
+    @pytest.mark.parametrize("mode", ["torn", "bitflip"])
+    def test_run_ledger_read_raises(self, tmp_path, atomic_write_faults, mode):
+        from repro.bench.ledger import RunRecord, read_ledger, write_ledger
+
+        getattr(atomic_write_faults, mode)("BENCH_")
+        path = write_ledger(RunRecord(name="t"), directory=tmp_path)
+        with pytest.raises(ReproError):
+            read_ledger(path)
+
+    def test_stream_ledger_discarded_not_merged(
+        self, tmp_path, atomic_write_faults
+    ):
+        from repro.stream.replay import (
+            ReplayHarness,
+            read_stream_bench,
+        )
+        from repro.stream.service import DetectionService
+
+        bench = tmp_path / "BENCH_stream.json"
+        atomic_write_faults.torn("BENCH_stream")
+        svc = DetectionService(tmp_path / "svc")
+        harness = ReplayHarness(svc, bench_path=bench)
+        harness._write_bench({1: {"seq": 1}})
+        with pytest.raises(ReproError):
+            read_stream_bench(bench)
+        assert harness._load_entries() == {}
+
+
+# ------------------------------------------------------------------- traces
+class TestTraceCorruption:
+    @pytest.mark.parametrize("mode", ["torn", "bitflip"])
+    def test_corrupt_trace_reads_incomplete_or_raises(
+        self, tmp_path, atomic_write_faults, mode
+    ):
+        tr = Tracer()
+        with tr.span("root"):
+            pass
+        getattr(atomic_write_faults, mode)("trace.jsonl")
+        path = tmp_path / "trace.jsonl"
+        write_trace(tr, path, meta={})
+        try:
+            data = read_trace(path)
+        except ReproError:
+            return  # typed rejection is fine
+        assert not data.complete  # ...as is a flagged partial read
+
+
+# -------------------------------------------------------------- status.json
+class TestStatusCorruption:
+    @pytest.mark.parametrize("mode", ["torn", "bitflip"])
+    def test_corrupt_status_raises_typed_error(
+        self, tmp_path, atomic_write_faults, mode
+    ):
+        status = tmp_path / "status.json"
+        getattr(atomic_write_faults, mode)("status.json")
+        sampler = TelemetrySampler(None, interval_s=0.01, status_path=status)
+        sampler.sample_once()
+        with pytest.raises(ReproError):
+            read_status(status)
+
+
+# -------------------------------------------------------------- spill store
+class TestSpillCorruption:
+    def test_bitflip_payload_fails_checksum(
+        self, tmp_path, atomic_write_faults
+    ):
+        path = tmp_path / "shard.spill"
+        atomic_write_faults.bitflip("shard.spill", offset=-8)
+        write_spill(path, {"a": np.arange(64, dtype=np.float64)})
+        # Flip the last payload byte (offset -8 lands inside array "a").
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(SpillError):
+            arrs = read_spill(path)
+            np.asarray(arrs["a"])
+
+    def test_torn_spill_raises(self, tmp_path, atomic_write_faults):
+        path = tmp_path / "shard2.spill"
+        atomic_write_faults.torn("shard2.spill", keep=0.3)
+        write_spill(path, {"a": np.arange(64, dtype=np.float64)})
+        with pytest.raises(SpillError):
+            read_spill(path)

@@ -1,0 +1,138 @@
+"""Kill-chaos suite for the streaming service: SIGKILL anywhere, recover
+bit-identical.
+
+Each scenario replays the same drifting edge log twice: once
+uninterrupted (the reference), once with a real ``SIGKILL`` delivered
+at a deterministic crash point (``FaultPlan.sigkill_at`` inside a child
+process — no atexit, no flush, exactly a power cut), followed by a
+restart of the same command.  The recovered partition must be
+**bit-identical** to the reference and the merged ``BENCH_stream.json``
+must cover every batch exactly once.  This is the robustness contract
+``docs/STREAMING.md`` documents and the CI kill-chaos job enforces.
+
+Marked ``faultinject`` so CI runs these in a dedicated time-boxed job.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.stream.replay import generate_edge_log
+from repro.stream.service import CRASH_POINTS
+
+pytestmark = [pytest.mark.faultinject, pytest.mark.timeout(300)]
+
+N_BATCHES = 10
+
+_CHILD = r"""
+import sys
+sys.path.insert(0, {src!r})
+import numpy as np
+from repro.resilience.faults import FaultPlan
+from repro.stream.replay import ReplayHarness
+from repro.stream.service import DetectionService, StreamConfig
+
+data_dir, log_path, bench_path, labels_out, kill = sys.argv[1:6]
+faults = None
+if kill:
+    point, _, idx = kill.rpartition(":")
+    faults = FaultPlan.sigkill_at(point, [int(idx)])
+cfg = StreamConfig(snapshot_every=4, drift_threshold=0.05)
+svc = DetectionService(data_dir, cfg, faults=faults)
+ReplayHarness(svc, bench_path=bench_path).run(log_path)
+np.save(labels_out, svc.labels)
+"""
+
+
+@pytest.fixture(scope="module")
+def edge_log(tmp_path_factory):
+    d = tmp_path_factory.mktemp("stream_chaos")
+    log = generate_edge_log(
+        d / "edges.log",
+        n_batches=N_BATCHES,
+        batch_size=48,
+        n_vertices=64,
+        n_blocks=4,
+        drift_every=4,
+        seed=7,
+    )
+    return log
+
+
+@pytest.fixture(scope="module")
+def reference_labels(edge_log, tmp_path_factory):
+    d = tmp_path_factory.mktemp("stream_ref")
+    r = _run(d / "state", edge_log, d / "bench.json", d / "labels.npy")
+    assert r.returncode == 0, r.stderr
+    return np.load(d / "labels.npy")
+
+
+def _run(data_dir, log, bench, labels, kill=""):
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    return subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _CHILD.format(src=src),
+            str(data_dir),
+            str(log),
+            str(bench),
+            str(labels),
+            kill,
+        ],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+@pytest.mark.parametrize(
+    "point,index",
+    [
+        ("wal-append", 2),
+        ("apply", 5),
+        ("snapshot", 1),
+        ("post-snapshot", 1),
+        ("wal-rerun", 0),
+    ],
+)
+def test_sigkill_then_restart_is_bit_identical(
+    point, index, edge_log, reference_labels, tmp_path
+):
+    bench = tmp_path / "bench.json"
+    labels = tmp_path / "labels.npy"
+    first = _run(tmp_path / "state", edge_log, bench, labels, f"{point}:{index}")
+    assert first.returncode == -9, (
+        f"expected SIGKILL at {point}:{index}, rc={first.returncode}\n"
+        f"{first.stderr[-2000:]}"
+    )
+    second = _run(tmp_path / "state", edge_log, bench, labels)
+    assert second.returncode == 0, second.stderr[-3000:]
+    np.testing.assert_array_equal(np.load(labels), reference_labels)
+    entries = json.loads(bench.read_text())["entries"]
+    assert sorted(e["seq"] for e in entries) == list(range(1, N_BATCHES + 1))
+
+
+def test_crash_point_names_cover_the_parametrization():
+    # Guard: if CRASH_POINTS gains a point, this suite must grow a kill.
+    covered = {"wal-append", "apply", "snapshot", "post-snapshot", "wal-rerun"}
+    assert covered == set(CRASH_POINTS)
+
+
+def test_double_kill_still_recovers(edge_log, reference_labels, tmp_path):
+    """Two consecutive crashes (kill, restart, kill, restart) converge."""
+    bench = tmp_path / "bench.json"
+    labels = tmp_path / "labels.npy"
+    first = _run(tmp_path / "state", edge_log, bench, labels, "apply:2")
+    assert first.returncode == -9
+    second = _run(tmp_path / "state", edge_log, bench, labels, "apply:3")
+    assert second.returncode == -9
+    final = _run(tmp_path / "state", edge_log, bench, labels)
+    assert final.returncode == 0, final.stderr[-3000:]
+    np.testing.assert_array_equal(np.load(labels), reference_labels)
+    entries = json.loads(bench.read_text())["entries"]
+    assert sorted(e["seq"] for e in entries) == list(range(1, N_BATCHES + 1))

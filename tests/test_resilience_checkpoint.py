@@ -10,6 +10,7 @@ from repro.resilience import (
     CHECKPOINT_SCHEMA_VERSION,
     CheckpointManager,
     CheckpointState,
+    quarantine_file,
     truncate_file,
 )
 from repro.types import VERTEX_DTYPE
@@ -128,6 +129,63 @@ class TestValidationOnLoad:
     def test_load_latest_empty_dir(self, tmp_path):
         state, n_invalid = CheckpointManager(tmp_path).load_latest()
         assert state is None and n_invalid == 0
+
+
+class TestQuarantine:
+    def _save_two_levels_and_break_newest(self, karate, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(_state_for(karate))
+        n = karate.n_vertices
+        newest = manager.save(
+            CheckpointState(
+                level=1,
+                graph=karate,
+                maps=[np.arange(n)],
+                member_counts=np.ones(n, dtype=VERTEX_DTYPE),
+                level_stats=[{}],
+            )
+        )
+        truncate_file(newest, keep_fraction=0.3)
+        return manager, newest
+
+    def test_invalid_file_is_renamed_to_corrupt(self, karate, tmp_path):
+        manager, newest = self._save_two_levels_and_break_newest(
+            karate, tmp_path
+        )
+        state, n_invalid = manager.load_latest()
+        assert n_invalid == 1 and state.level == 0
+        assert not newest.exists()
+        assert newest.with_name(newest.name + ".corrupt").exists()
+
+    def test_known_bad_file_is_validated_at_most_once(self, karate, tmp_path):
+        manager, _ = self._save_two_levels_and_break_newest(karate, tmp_path)
+        _, first = manager.load_latest()
+        state, second = manager.load_latest()
+        assert first == 1
+        assert second == 0  # quarantine removed it from discovery
+        assert state is not None and state.level == 0
+
+    def test_quarantine_is_logged_once_per_resume(
+        self, karate, tmp_path, caplog
+    ):
+        manager, _ = self._save_two_levels_and_break_newest(karate, tmp_path)
+        with caplog.at_level("WARNING", logger="repro.resilience.checkpoint"):
+            manager.load_latest()
+        warnings = [
+            r for r in caplog.records if "quarantined" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+
+    def test_quarantine_file_never_overwrites_forensics(self, tmp_path):
+        for k, expected in enumerate(
+            ["x.npz.corrupt", "x.npz.corrupt.1", "x.npz.corrupt.2"]
+        ):
+            victim = tmp_path / "x.npz"
+            victim.write_bytes(f"crash-{k}".encode())
+            target = quarantine_file(victim)
+            assert target.name == expected
+            assert target.read_bytes() == f"crash-{k}".encode()
+        assert not (tmp_path / "x.npz").exists()
 
 
 class TestResume:

@@ -1,0 +1,118 @@
+"""Tests for the edge-log replay harness (stream/replay.py)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError, ReproError
+from repro.stream.replay import (
+    EDGE_LOG_HEADER,
+    ReplayHarness,
+    generate_edge_log,
+    read_edge_log,
+    read_stream_bench,
+)
+from repro.stream.service import DetectionService, StreamConfig
+
+
+def _cfg(**kw):
+    kw.setdefault("snapshot_every", 4)
+    kw.setdefault("drift_threshold", 0.05)
+    return StreamConfig(**kw)
+
+
+class TestEdgeLog:
+    def test_generation_is_deterministic(self, tmp_path):
+        a = generate_edge_log(tmp_path / "a.log", n_batches=5, seed=3)
+        b = generate_edge_log(tmp_path / "b.log", n_batches=5, seed=3)
+        assert a.read_bytes() == b.read_bytes()
+        c = generate_edge_log(tmp_path / "c.log", n_batches=5, seed=4)
+        assert a.read_bytes() != c.read_bytes()
+
+    def test_read_round_trip(self, tmp_path):
+        path = generate_edge_log(
+            tmp_path / "e.log", n_batches=4, batch_size=10
+        )
+        batches = list(read_edge_log(path))
+        assert [t for t, *_ in batches] == [1, 2, 3, 4]
+        for _, i, j, w, op in batches:
+            assert len(i) == len(j) == len(w) == len(op) == 10
+            assert set(np.unique(op)) <= {-1, 1}
+
+    def test_drift_rotates_membership(self, tmp_path):
+        frozen = generate_edge_log(
+            tmp_path / "f.log", n_batches=6, drift_every=0, seed=0
+        )
+        drifting = generate_edge_log(
+            tmp_path / "d.log", n_batches=6, drift_every=2, seed=0
+        )
+        assert frozen.read_bytes() != drifting.read_bytes()
+
+    def test_missing_header_rejected(self, tmp_path):
+        p = tmp_path / "bad.log"
+        p.write_text("1 + 0 1 1.0\n")
+        with pytest.raises(GraphFormatError, match="header"):
+            list(read_edge_log(p))
+
+    def test_malformed_line_rejected(self, tmp_path):
+        p = tmp_path / "bad.log"
+        p.write_text(f"{EDGE_LOG_HEADER}\n1 ? 0 1 1.0\n")
+        with pytest.raises(GraphFormatError, match="malformed"):
+            list(read_edge_log(p))
+
+    def test_non_monotone_timestamps_rejected(self, tmp_path):
+        p = tmp_path / "bad.log"
+        p.write_text(f"{EDGE_LOG_HEADER}\n2 + 0 1 1.0\n1 + 1 2 1.0\n")
+        with pytest.raises(GraphFormatError, match="non-decreasing"):
+            list(read_edge_log(p))
+
+
+class TestHarness:
+    def test_run_ledgers_every_batch(self, tmp_path):
+        log = generate_edge_log(
+            tmp_path / "e.log", n_batches=6, batch_size=24, n_vertices=24
+        )
+        bench = tmp_path / "BENCH_stream.json"
+        report = tmp_path / "recovery.json"
+        svc = DetectionService(tmp_path / "svc", _cfg())
+        summary = ReplayHarness(
+            svc, bench_path=bench, report_path=report
+        ).run(log)
+        assert summary["n_batches_ingested"] == 6
+        data = read_stream_bench(bench)
+        assert [e["seq"] for e in data["entries"]] == [1, 2, 3, 4, 5, 6]
+        assert all("latency_s" in e for e in data["entries"])
+        assert data["timeline"]["batches"]
+        assert json.loads(report.read_text())["batch_seq"] == 6
+
+    def test_rerun_resumes_without_reapplying(self, tmp_path):
+        log = generate_edge_log(
+            tmp_path / "e.log", n_batches=5, batch_size=16, n_vertices=16
+        )
+        bench = tmp_path / "BENCH_stream.json"
+        svc = DetectionService(tmp_path / "svc", _cfg())
+        ReplayHarness(svc, bench_path=bench).run(log)
+        labels = svc.labels.copy()
+
+        svc2 = DetectionService(tmp_path / "svc", _cfg())
+        summary = ReplayHarness(svc2, bench_path=bench).run(log)
+        assert summary["n_batches_ingested"] == 0
+        assert summary["n_batches_recovered_or_skipped"] == 5
+        np.testing.assert_array_equal(svc2.labels, labels)
+        data = read_stream_bench(bench)
+        assert [e["seq"] for e in data["entries"]] == [1, 2, 3, 4, 5]
+
+    def test_max_batches_stops_early(self, tmp_path):
+        log = generate_edge_log(
+            tmp_path / "e.log", n_batches=6, batch_size=16, n_vertices=16
+        )
+        svc = DetectionService(tmp_path / "svc", _cfg())
+        summary = ReplayHarness(svc).run(log, max_batches=3)
+        assert summary["batch_seq"] == 3
+
+    def test_wrong_format_ledger_rejected(self, tmp_path):
+        p = tmp_path / "BENCH_stream.json"
+        p.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ReproError, match="ledger"):
+            read_stream_bench(p)

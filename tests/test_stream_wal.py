@@ -1,0 +1,156 @@
+"""Tests for the write-ahead log (stream/wal.py)."""
+
+import os
+
+import pytest
+
+from repro.errors import WalError
+from repro.stream.wal import KIND_BATCH, KIND_RERUN, WriteAheadLog
+
+
+def _open(tmp_path, **kw):
+    wal = WriteAheadLog(tmp_path / "wal", **kw)
+    wal.recover()
+    return wal
+
+
+def _active_path(tmp_path):
+    (candidate,) = list((tmp_path / "wal").glob("*.wal.open"))
+    return candidate
+
+
+class TestAppendAndScan:
+    def test_round_trip_with_kinds(self, tmp_path):
+        with _open(tmp_path) as wal:
+            r1 = wal.append(b"alpha")
+            r2 = wal.append(b"beta", kind=KIND_RERUN)
+            assert (r1.seq, r2.seq) == (1, 2)
+            recs = list(wal.records())
+        assert [(r.seq, r.kind, r.payload) for r in recs] == [
+            (1, KIND_BATCH, b"alpha"),
+            (2, KIND_RERUN, b"beta"),
+        ]
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        with _open(tmp_path) as wal:
+            wal.append(b"one")
+        with _open(tmp_path) as wal:
+            rec = wal.append(b"two")
+            assert rec.seq == 2
+            assert [r.payload for r in wal.records()] == [b"one", b"two"]
+
+    def test_rotation_seals_segments(self, tmp_path):
+        with _open(tmp_path, segment_max_bytes=4096) as wal:
+            for k in range(6):
+                wal.append(f"payload-{k}".encode() * 300)
+            sealed = list((tmp_path / "wal").glob("seg_*.wal"))
+            assert len(sealed) >= 2
+            assert len(list((tmp_path / "wal").glob("*.wal.open"))) == 1
+            assert [r.seq for r in wal.records()] == list(range(1, 7))
+
+    def test_start_seq_filter(self, tmp_path):
+        with _open(tmp_path) as wal:
+            for k in range(5):
+                wal.append(str(k).encode())
+            assert [r.seq for r in wal.records(start_seq=4)] == [4, 5]
+
+
+class TestTornTail:
+    def test_truncated_tail_salvages_prefix(self, tmp_path):
+        with _open(tmp_path) as wal:
+            for k in range(3):
+                wal.append(f"rec-{k}".encode())
+        active = _active_path(tmp_path)
+        data = active.read_bytes()
+        active.write_bytes(data[:-5])  # tear the last frame mid-payload
+        with _open(tmp_path) as wal:
+            rec = wal.last_recovery
+            assert rec.n_torn == 1
+            assert rec.n_records == 2
+            assert not rec.clean
+            assert [r.payload for r in wal.records()] == [b"rec-0", b"rec-1"]
+            # Torn bytes are preserved for forensics, then numbering
+            # continues exactly where the salvaged prefix ends.
+            assert list((tmp_path / "wal").glob("*.torn"))
+            assert wal.append(b"after").seq == 3
+
+    def test_bitflip_stops_scan_at_bad_frame(self, tmp_path):
+        with _open(tmp_path) as wal:
+            wal.append(b"good-record")
+            wal.append(b"bad--record")
+        active = _active_path(tmp_path)
+        data = bytearray(active.read_bytes())
+        data[-3] ^= 0xFF  # corrupt the second record's payload
+        active.write_bytes(bytes(data))
+        with _open(tmp_path) as wal:
+            assert wal.last_recovery.n_torn == 1
+            assert [r.payload for r in wal.records()] == [b"good-record"]
+
+    def test_corrupt_sealed_segment_quarantines_later_ones(self, tmp_path):
+        with _open(tmp_path, segment_max_bytes=4096) as wal:
+            for k in range(6):
+                wal.append(f"payload-{k}".encode() * 300)
+        sealed = sorted((tmp_path / "wal").glob("seg_*.wal"))
+        assert len(sealed) >= 2
+        first = sealed[0]
+        data = bytearray(first.read_bytes())
+        data[-1] ^= 0xFF
+        first.write_bytes(bytes(data))
+        with _open(tmp_path, segment_max_bytes=4096) as wal:
+            rec = wal.last_recovery
+            assert rec.n_torn >= 1
+            assert len(rec.quarantined) >= 1
+            assert list((tmp_path / "wal").glob("*.corrupt"))
+            # Only the first segment's good prefix survives.
+            seqs = [r.seq for r in wal.records()]
+            assert seqs == list(range(1, len(seqs) + 1))
+
+
+class TestStructuralErrors:
+    def test_two_open_segments_is_structural(self, tmp_path):
+        with _open(tmp_path) as wal:
+            wal.append(b"x")
+        (tmp_path / "wal" / "seg_99999999.wal.open").write_bytes(b"")
+        with pytest.raises(WalError, match="open"):
+            WriteAheadLog(tmp_path / "wal").recover()
+
+    def test_closed_log_rejects_appends(self, tmp_path):
+        wal = _open(tmp_path)
+        wal.close()
+        with pytest.raises(WalError):
+            wal.append(b"x")
+
+
+class TestTruncation:
+    def test_truncate_upto_drops_covered_segments(self, tmp_path):
+        with _open(tmp_path, segment_max_bytes=4096) as wal:
+            for k in range(6):
+                wal.append(f"payload-{k}".encode() * 300)
+            before = len(list((tmp_path / "wal").glob("seg_*")))
+            wal.truncate_upto(6)
+            after = len(list((tmp_path / "wal").glob("seg_*")))
+            assert after < before
+            assert list(wal.records()) == []
+            # Sequence numbering survives the truncation.
+            assert wal.append(b"next").seq == 7
+
+    def test_sequence_survives_truncate_and_reopen(self, tmp_path):
+        with _open(tmp_path) as wal:
+            for k in range(4):
+                wal.append(str(k).encode())
+            wal.truncate_upto(4)
+        with _open(tmp_path) as wal:
+            assert wal.append(b"five").seq == 5
+
+    def test_ensure_seq_floor_fast_forwards_empty_log(self, tmp_path):
+        with _open(tmp_path) as wal:
+            wal.ensure_seq_floor(41)
+            assert wal.append(b"x").seq == 42
+        with _open(tmp_path) as wal:  # the floor is durable
+            assert wal.append(b"y").seq == 43
+
+    def test_ensure_seq_floor_never_touches_live_records(self, tmp_path):
+        with _open(tmp_path) as wal:
+            wal.append(b"keep")
+            wal.ensure_seq_floor(100)
+            assert wal.append(b"next").seq == 2
